@@ -1,0 +1,118 @@
+// Command taglesssim runs one simulation: a workload (SPEC program, MIX,
+// or PARSEC program) on one DRAM-cache organization, and prints the full
+// measured result.
+//
+//	taglesssim -design cTLB -workload sphinx3
+//	taglesssim -design SRAM -workload MIX5 -measure 5000000
+//	taglesssim -design cTLB -workload GemsFDTD -nc 32 -policy LRU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taglessdram"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "cTLB", "NoL3 | BI | SRAM | cTLB | Ideal")
+		workload = flag.String("workload", "sphinx3", "SPEC program, MIX1-MIX8, or PARSEC program")
+		warmup   = flag.Uint64("warmup", 3_000_000, "warm-up instructions per core")
+		measure  = flag.Uint64("measure", 3_000_000, "measured instructions per core")
+		shift    = flag.Uint("shift", 6, "capacity scale: divide sizes by 1<<shift")
+		cacheMB  = flag.Int64("cache-mb", 0, "override scaled cache capacity in MB (0 = default)")
+		policy   = flag.String("policy", "FIFO", "tagless victim policy: FIFO | LRU | CLOCK")
+		nc       = flag.Int("nc", 0, "non-cacheable threshold (32 enables the Section 5.4 policy)")
+		hot      = flag.Int("hotfilter", 0, "online hot-page filter threshold (0 = off)")
+		alias    = flag.Bool("alias", false, "enable the Section 6 shared-page alias table")
+		super    = flag.Bool("superpages", false, "map application memory as 2MB-equivalent superpages")
+		refresh  = flag.Bool("refresh", false, "model DRAM refresh blackouts")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC (single-programmed):", strings.Join(taglessdram.SPECWorkloads(), " "))
+		fmt.Println("Mixes (multi-programmed):", strings.Join(taglessdram.MixWorkloads(), " "))
+		fmt.Println("PARSEC (multi-threaded): ", strings.Join(taglessdram.PARSECWorkloads(), " "))
+		return
+	}
+
+	d, err := parseDesign(*design)
+	if err != nil {
+		fatal(err)
+	}
+	o := taglessdram.DefaultOptions()
+	o.Shift = *shift
+	o.Warmup, o.Measure = *warmup, *measure
+	o.Seed = *seed
+	o.CacheMB = *cacheMB
+	o.NCAccessThreshold = *nc
+	o.HotFilterThreshold = *hot
+	o.SharedAliasTable = *alias
+	o.Superpages = *super
+	o.Refresh = *refresh
+	switch {
+	case strings.EqualFold(*policy, "LRU"):
+		o.Policy = taglessdram.LRU
+	case strings.EqualFold(*policy, "CLOCK"):
+		o.Policy = taglessdram.CLOCK
+	}
+	if err := o.Validate(); err != nil {
+		fatal(err)
+	}
+
+	r, err := taglessdram.Run(d, *workload, o)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload:        %s on %v\n", r.Workload, r.Design)
+	fmt.Printf("instructions:    %d (measured)\n", r.Instructions)
+	fmt.Printf("cycles:          %d (%.3f ms simulated)\n", r.Cycles, r.Seconds*1e3)
+	fmt.Printf("IPC:             %.3f (per core: %s)\n", r.IPC, fmtIPCs(r.PerCoreIPC))
+	fmt.Printf("L3 accesses:     %d (hit rate %.1f%%, avg latency %.1f cycles)\n",
+		r.L3Accesses, r.L3HitRate*100, r.AvgL3Latency)
+	fmt.Printf("TLB:             %d lookups, %.3f%% miss\n", r.TLBLookups, r.TLBMissRate*100)
+	fmt.Printf("DRAM row hits:   in-package %.1f%%, off-package %.1f%%\n",
+		r.InPkgRowHitRate*100, r.OffPkgRowHitRate*100)
+	fmt.Printf("traffic:         in-package %d B, off-package %d B\n", r.InPkgBytes, r.OffPkgBytes)
+	fmt.Printf("energy:          %s\n", r.Energy)
+	fmt.Printf("EDP:             %.4g J*s\n", r.EDPJs)
+	if r.Design == taglessdram.Tagless {
+		c := r.Ctrl
+		fmt.Printf("cTLB handler:    %d walks: %d victim hits, %d cold fills, %d NC, %d pending waits, %d alias hits\n",
+			c.Walks, c.VictimHits, c.ColdFills, c.NonCacheable, c.PendingWaits, c.AliasHits)
+		fmt.Printf("eviction daemon: %d evictions (%d dirty write-backs, %d rescues, %d forced on access path, %d shootdowns)\n",
+			c.Evictions, c.Writebacks, c.Rescues, c.SyncEvictions, c.Shootdowns)
+		if r.NCAccesses > 0 {
+			fmt.Printf("NC accesses:     %d\n", r.NCAccesses)
+		}
+	}
+}
+
+func parseDesign(s string) (taglessdram.Design, error) {
+	for _, d := range taglessdram.Designs() {
+		if strings.EqualFold(d.String(), s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q (want NoL3, BI, SRAM, cTLB or Ideal)", s)
+}
+
+func fmtIPCs(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.2f", x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taglesssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command tracegen records synthetic workload traces to files and inspects
+// them. Recorded traces replay bit-identically through the simulator
+// (Workload.Sources), decoupling workload generation from simulation.
+//
+//	tracegen -workload sphinx3 -n 1000000 -out sphinx3.trace
+//	tracegen -stats sphinx3.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taglessdram/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "sphinx3", "SPEC or PARSEC profile to record")
+		n        = flag.Uint64("n", 1_000_000, "number of accesses to record")
+		out      = flag.String("out", "", "output trace file")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		shift    = flag.Uint("shift", 6, "footprint scale: divide by 1<<shift")
+		statsArg = flag.String("stats", "", "print statistics of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *statsArg != "" {
+		if err := printStats(*statsArg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("need -out (or -stats to inspect a file)"))
+	}
+
+	p, err := trace.ProfileByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	g := trace.NewGenerator(p.Scaled(*shift), *seed)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Record(f, g, *n); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	info, _ := os.Stat(*out)
+	fmt.Printf("recorded %d accesses of %s (seed %d) to %s (%d bytes, %.2f B/access)\n",
+		*n, *workload, *seed, *out, info.Size(), float64(info.Size())/float64(*n))
+}
+
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	accesses, err := trace.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	rep, err := trace.NewReplay(accesses)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.Analyze(rep, uint64(len(accesses))).String())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+package taglessdram_test
+
+import (
+	"fmt"
+	"log"
+
+	"taglessdram"
+)
+
+// ExampleRun simulates one workload on the proposed tagless design.
+func ExampleRun() {
+	opts := taglessdram.DefaultOptions()
+	r, err := taglessdram.Run(taglessdram.Tagless, "sphinx3", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IPC %.2f, L3 hit %.0f%%, EDP %.3g J·s\n",
+		r.IPC, r.L3HitRate*100, r.EDPJs)
+}
+
+// ExampleRunFigure8 regenerates the paper's average-L3-latency comparison.
+func ExampleRunFigure8() {
+	rows, err := taglessdram.RunFigure8(taglessdram.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("%-12s SRAM %.0f cyc, tagless %.0f cyc (%.1f%% lower)\n",
+			row.Workload, row.SRAMTagLat, row.TaglessLat, row.ReductionPC)
+	}
+}
+
+// ExampleOptions shows the design-space knobs: replacement policy,
+// non-cacheable classification, superpages and the shared-page alias table.
+func ExampleOptions() {
+	opts := taglessdram.DefaultOptions()
+	opts.Policy = taglessdram.CLOCK // second-chance victim selection
+	opts.NCAccessThreshold = 32     // Section 5.4's low-reuse bypass
+	opts.Superpages = true          // Section 6: 2MB-equivalent regions
+	r, err := taglessdram.Run(taglessdram.Tagless, "lbm", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Ctrl.ColdFills, "region fills,", r.NCAccesses, "bypassed accesses")
+}

@@ -1,0 +1,44 @@
+// Mixes: the paper's multi-programmed study (Figure 9 style). Four
+// memory-bound SPEC programs share the machine; the DRAM cache absorbs
+// their combined footprint and contention. Prints normalized IPC and EDP
+// for every design over a selection of Table 5's mixes.
+//
+//	go run ./examples/mixes
+//	go run ./examples/mixes MIX3 MIX7     # choose specific mixes
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"taglessdram"
+)
+
+func main() {
+	mixes := os.Args[1:]
+	if len(mixes) == 0 {
+		mixes = []string{"MIX1", "MIX5"}
+	}
+	opts := taglessdram.DefaultOptions()
+	opts.Warmup, opts.Measure = 3_000_000, 3_000_000
+
+	fmt.Printf("%-6s %-6s %9s %9s %9s %10s\n",
+		"mix", "design", "IPC", "normIPC", "normEDP", "L3 hit")
+	for _, mix := range mixes {
+		var baseIPC, baseEDP float64
+		for _, d := range taglessdram.Designs() {
+			r, err := taglessdram.Run(d, mix, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d == taglessdram.NoL3 {
+				baseIPC, baseEDP = r.IPC, r.EDPJs
+			}
+			fmt.Printf("%-6s %-6v %9.3f %9.3f %9.3f %9.1f%%\n",
+				mix, d, r.IPC, r.IPC/baseIPC, r.EDPJs/baseEDP, r.L3HitRate*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("normIPC > 1 and normEDP < 1 mean the design beats the no-cache baseline.")
+}

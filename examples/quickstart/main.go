@@ -1,0 +1,48 @@
+// Quickstart: simulate one workload on the proposed tagless DRAM cache and
+// on the SRAM-tag baseline, and compare the metrics the paper leads with —
+// IPC, average L3 latency, and energy-delay product.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taglessdram"
+)
+
+func main() {
+	opts := taglessdram.DefaultOptions()
+	// The default budgets let the cache warm fully (the simulator runs
+	// tens of millions of instructions per second).
+	opts.Warmup, opts.Measure = 3_000_000, 3_000_000
+
+	fmt.Println("Tagless DRAM cache quickstart — workload: sphinx3 (4 SimPoint slices)")
+	fmt.Println()
+
+	baseline, err := taglessdram.Run(taglessdram.NoL3, "sphinx3", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, design := range []taglessdram.Design{taglessdram.SRAMTag, taglessdram.Tagless} {
+		r, err := taglessdram.Run(design, "sphinx3", opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v:\n", design)
+		fmt.Printf("  IPC           %.3f  (%+.1f%% vs no DRAM cache)\n",
+			r.IPC, (r.IPC/baseline.IPC-1)*100)
+		fmt.Printf("  L3 hit rate   %.1f%%\n", r.L3HitRate*100)
+		fmt.Printf("  L3 latency    %.1f cycles\n", r.AvgL3Latency)
+		fmt.Printf("  energy        %.4g J (tags: %.4g J)\n", r.Energy.TotalJ(), r.Energy.TagJ)
+		fmt.Printf("  EDP           %.4g J*s (%.2fx vs no DRAM cache)\n",
+			r.EDPJs, r.EDPJs/baseline.EDPJs)
+		if design == taglessdram.Tagless {
+			fmt.Printf("  cTLB handler  %d victim hits, %d cold fills — a cTLB hit always hits the cache\n",
+				r.Ctrl.VictimHits, r.Ctrl.ColdFills)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+// Replay: record a workload trace to a file with the trace tooling, read
+// it back, and drive the simulator from the recorded stream. Replayed
+// traces are bit-identical to their source generation, which decouples
+// workload preparation from simulation (e.g. for sharing workloads between
+// machines or diffing simulator versions on frozen inputs).
+//
+//	go run ./examples/replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/system"
+	"taglessdram/internal/trace"
+)
+
+func main() {
+	const accesses = 200_000
+	dir, err := os.MkdirTemp("", "taglessdram-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sphinx3.trace")
+
+	// 1. Record a trace.
+	p, err := trace.ProfileByName("sphinx3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := trace.NewGenerator(p.Scaled(6), 42)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.Record(f, g, accesses); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("recorded %d accesses to %s (%d bytes)\n", accesses, path, info.Size())
+
+	// 2. Read it back and characterize it.
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recorded, err := trace.ReadAll(rf)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := trace.NewReplay(recorded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(trace.Analyze(rep, uint64(len(recorded))).String())
+
+	// 3. Drive the tagless cache from the recording.
+	rep2, _ := trace.NewReplay(recorded)
+	cfg := config.Default()
+	cfg.Design = config.Tagless
+	cfg.CacheSize >>= 6
+	cfg.InPkg.SizeBytes >>= 6
+	cfg.OffPkg.SizeBytes >>= 6
+	m, err := system.New(cfg, system.Workload{
+		Name:    "sphinx3-replay",
+		Sources: []trace.Source{rep2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := m.Run(1_000_000, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed simulation: %v\n", r)
+	fmt.Printf("the replay wrapped %d times to fill the instruction budget\n", rep2.Wraps)
+}

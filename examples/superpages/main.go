@@ -1,0 +1,49 @@
+// Superpages: the Section 6 extension. Mapping application memory as
+// 2MB-equivalent superpages gives the cTLB enormous reach (one entry per
+// region), but a fill then moves a whole region — great for streaming
+// programs, catastrophic for first-touch-dominated ones. This example runs
+// both kinds and shows the judicious-application trade-off the paper
+// describes.
+//
+//	go run ./examples/superpages
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taglessdram"
+)
+
+func main() {
+	opts := taglessdram.DefaultOptions()
+
+	fmt.Println("Superpage study (2MB-equivalent regions on the tagless cache)")
+	fmt.Println()
+	fmt.Printf("%-10s %-16s %8s %11s %12s %8s\n",
+		"workload", "config", "IPC", "cTLB miss", "off-pkg MB", "fills")
+
+	for _, wl := range []string{"lbm", "GemsFDTD"} {
+		for _, super := range []bool{false, true} {
+			o := opts
+			o.Superpages = super
+			r, err := taglessdram.Run(taglessdram.Tagless, wl, o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := "4KB pages"
+			if super {
+				cfg = "2MB superpages"
+			}
+			fmt.Printf("%-10s %-16s %8.3f %10.3f%% %12.2f %8d\n",
+				wl, cfg, r.IPC, r.TLBMissRate*100,
+				float64(r.OffPkgBytes)/1e6, r.Ctrl.ColdFills)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("lbm streams sequentially: superpages cut cTLB misses to nearly zero")
+	fmt.Println("and every prefetched page gets used. GemsFDTD touches most pages once:")
+	fmt.Println("each region fill over-fetches, multiplying off-package traffic —")
+	fmt.Println("exactly why Section 6 says superpages must be applied judiciously.")
+}

@@ -1,0 +1,773 @@
+package taglessdram
+
+import (
+	"fmt"
+
+	"taglessdram/internal/amat"
+	"taglessdram/internal/config"
+	"taglessdram/internal/core"
+	"taglessdram/internal/stats"
+	"taglessdram/internal/system"
+	"taglessdram/internal/trace"
+)
+
+// DesignRow holds one workload's metrics for one design, normalized to the
+// workload's NoL3 baseline (the paper's Figures 7, 9 and 12).
+type DesignRow struct {
+	Workload      string
+	Design        Design
+	IPC           float64
+	NormIPC       float64 // vs the NoL3 baseline
+	NormEDP       float64 // vs the NoL3 baseline (lower is better)
+	L3HitRate     float64
+	AvgL3Latency  float64
+	EnergyJ       float64
+	OffPkgGB      float64 // off-package traffic
+	TLBMissRate   float64
+	VictimHitRate float64 // tagless: victim hits / cTLB misses
+}
+
+// runAcrossDesigns measures all five designs for one workload.
+func runAcrossDesigns(workload string, o Options) ([]DesignRow, error) {
+	var base *Result
+	var rows []DesignRow
+	for _, d := range Designs() {
+		r, err := Run(d, workload, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", workload, d, err)
+		}
+		if d == NoL3 {
+			base = r
+		}
+		row := DesignRow{
+			Workload:     workload,
+			Design:       d,
+			IPC:          r.IPC,
+			L3HitRate:    r.L3HitRate,
+			AvgL3Latency: r.AvgL3Latency,
+			EnergyJ:      r.Energy.TotalJ(),
+			OffPkgGB:     float64(r.OffPkgBytes) / 1e9,
+			TLBMissRate:  r.TLBMissRate,
+		}
+		if base != nil && base.IPC > 0 {
+			row.NormIPC = r.IPC / base.IPC
+		}
+		if base != nil && base.EDPJs > 0 {
+			row.NormEDP = r.EDPJs / base.EDPJs
+		}
+		if d == Tagless && r.Ctrl.Walks > 0 {
+			denom := r.Ctrl.VictimHits + r.Ctrl.ColdFills
+			if denom > 0 {
+				row.VictimHitRate = float64(r.Ctrl.VictimHits) / float64(denom)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunFigure7 reproduces Figure 7: normalized IPC and EDP of the 11
+// single-programmed SPEC workloads under every design.
+func RunFigure7(o Options) ([]DesignRow, error) {
+	var out []DesignRow
+	for _, wl := range SPECWorkloads() {
+		rows, err := runAcrossDesigns(wl, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Fig8Row is one workload's average L3 access time under the two tag
+// designs (Figure 8; lower is better).
+type Fig8Row struct {
+	Workload    string
+	SRAMTagLat  float64 // cycles
+	TaglessLat  float64 // cycles
+	ReductionPC float64 // percent reduction (positive = tagless faster)
+}
+
+// RunFigure8 reproduces Figure 8: average L3 access latency of the
+// SRAM-tag and tagless caches over the SPEC workloads.
+func RunFigure8(o Options) ([]Fig8Row, error) {
+	var out []Fig8Row
+	for _, wl := range SPECWorkloads() {
+		rs, err := Run(SRAMTag, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := Run(Tagless, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Workload: wl, SRAMTagLat: rs.AvgL3Latency, TaglessLat: rt.AvgL3Latency}
+		if rs.AvgL3Latency > 0 {
+			row.ReductionPC = (rs.AvgL3Latency - rt.AvgL3Latency) / rs.AvgL3Latency * 100
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RunFigure9 reproduces Figure 9: normalized IPC and EDP of MIX1–MIX8.
+func RunFigure9(o Options) ([]DesignRow, error) {
+	var out []DesignRow
+	for _, wl := range MixWorkloads() {
+		rows, err := runAcrossDesigns(wl, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Fig10Row is one (mix, cache size) IPC pair normalized to the
+// bank-interleaving baseline (Figure 10).
+type Fig10Row struct {
+	Workload  string
+	CacheMB   int64 // scaled capacity (paper scale = CacheMB << Shift)
+	SRAMNorm  float64
+	CTLBNorm  float64
+	BIBaseIPC float64
+}
+
+// RunFigure10 reproduces Figure 10: sensitivity to DRAM-cache size. The
+// paper's 256MB/512MB/1GB points scale to 4/8/16MB at the default shift.
+func RunFigure10(o Options, mixes []string) ([]Fig10Row, error) {
+	if len(mixes) == 0 {
+		mixes = MixWorkloads()
+	}
+	sizes := []int64{4, 8, 16} // MB at shift 6 == 256MB/512MB/1GB at paper scale
+	var out []Fig10Row
+	for _, wl := range mixes {
+		for _, mb := range sizes {
+			oSize := o
+			oSize.CacheMB = mb
+			bi, err := Run(BankInterleave, wl, oSize)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := Run(SRAMTag, wl, oSize)
+			if err != nil {
+				return nil, err
+			}
+			ct, err := Run(Tagless, wl, oSize)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig10Row{Workload: wl, CacheMB: mb, BIBaseIPC: bi.IPC}
+			if bi.IPC > 0 {
+				row.SRAMNorm = sr.IPC / bi.IPC
+				row.CTLBNorm = ct.IPC / bi.IPC
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Fig11Row compares victim-selection policies for one mix (Figure 11,
+// extended with the CLOCK second-chance policy the paper names as the
+// practical LRU approximation).
+type Fig11Row struct {
+	Workload  string
+	FIFOIPC   float64
+	LRUIPC    float64
+	CLOCKIPC  float64
+	LRUGain   float64 // fractional IPC gain of LRU over FIFO
+	CLOCKGain float64 // fractional IPC gain of CLOCK over FIFO
+}
+
+// RunFigure11 reproduces Figure 11: the replacement-policy sensitivity of
+// the tagless cache.
+func RunFigure11(o Options, mixes []string) ([]Fig11Row, error) {
+	if len(mixes) == 0 {
+		mixes = MixWorkloads()
+	}
+	var out []Fig11Row
+	for _, wl := range mixes {
+		of := o
+		of.Policy = FIFO
+		rf, err := Run(Tagless, wl, of)
+		if err != nil {
+			return nil, err
+		}
+		ol := o
+		ol.Policy = LRU
+		rl, err := Run(Tagless, wl, ol)
+		if err != nil {
+			return nil, err
+		}
+		oc := o
+		oc.Policy = CLOCK
+		rc, err := Run(Tagless, wl, oc)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{Workload: wl, FIFOIPC: rf.IPC, LRUIPC: rl.IPC, CLOCKIPC: rc.IPC}
+		if rf.IPC > 0 {
+			row.LRUGain = rl.IPC/rf.IPC - 1
+			row.CLOCKGain = rc.IPC/rf.IPC - 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RunFigure12 reproduces Figure 12: the four PARSEC multi-threaded
+// workloads across designs.
+func RunFigure12(o Options) ([]DesignRow, error) {
+	var out []DesignRow
+	for _, wl := range PARSECWorkloads() {
+		rows, err := runAcrossDesigns(wl, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Fig13Row is the non-cacheable-pages case study (Figure 13).
+type Fig13Row struct {
+	Workload    string
+	BaseIPC     float64 // tagless without NC classification
+	NCIPC       float64 // tagless with low-reuse pages marked NC
+	GainPC      float64 // percent IPC gain
+	NCAccesses  uint64
+	BaseOffPkgB uint64
+	NCOffPkgB   uint64
+}
+
+// RunFigure13 reproduces Figure 13: marking low-reuse pages non-cacheable
+// for GemsFDTD (the paper's threshold is 32 accesses).
+func RunFigure13(o Options) (Fig13Row, error) {
+	base, err := Run(Tagless, "GemsFDTD", o)
+	if err != nil {
+		return Fig13Row{}, err
+	}
+	onc := o
+	onc.NCAccessThreshold = 32
+	nc, err := Run(Tagless, "GemsFDTD", onc)
+	if err != nil {
+		return Fig13Row{}, err
+	}
+	row := Fig13Row{
+		Workload:    "GemsFDTD",
+		BaseIPC:     base.IPC,
+		NCIPC:       nc.IPC,
+		NCAccesses:  nc.NCAccesses,
+		BaseOffPkgB: base.OffPkgBytes,
+		NCOffPkgB:   nc.OffPkgBytes,
+	}
+	if base.IPC > 0 {
+		row.GainPC = (nc.IPC/base.IPC - 1) * 100
+	}
+	return row, nil
+}
+
+// Table1Row describes one of the four (TLB, DRAM cache) cases with its
+// measured handler cost (Table 1).
+type Table1Row struct {
+	TLB         string
+	Cache       string
+	Description string
+	MeanCycles  float64
+	Count       uint64
+}
+
+// RunTable1 measures the four access cases of Table 1. mcf exercises the
+// cache-side cases: its footprint exceeds the TLB reach (victim hits) and
+// its singleton pages cause cold fills during measurement. A second run
+// with the offline non-cacheable policy enabled supplies the (Hit, Miss)
+// row, since that policy diverts the same singleton pages around the
+// cache. Pending-update waits require concurrent threads faulting on one
+// page and may legitimately be absent.
+func RunTable1(o Options) ([]Table1Row, error) {
+	r, err := Run(Tagless, "mcf", o)
+	if err != nil {
+		return nil, err
+	}
+	onc := o
+	onc.NCAccessThreshold = 32
+	rnc, err := Run(Tagless, "mcf", onc)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(r *Result, k core.MissKind) (float64, uint64) {
+		return r.MissKindMean[k], r.MissKindCount[k]
+	}
+	var rows []Table1Row
+	// The (Hit, Hit) case never enters the handler: a cTLB hit is a
+	// guaranteed cache hit with zero translation penalty.
+	rows = append(rows, Table1Row{"Hit", "Hit",
+		"Cache hit; zero latency penalty", 0, r.TLBLookups - r.TLBMisses})
+	m, c := mk(rnc, core.MissNonCacheable)
+	rows = append(rows, Table1Row{"Hit/Miss", "Miss",
+		"Non-cacheable page; off-package block access", m, c})
+	m, c = mk(r, core.MissVictimHit)
+	rows = append(rows, Table1Row{"Miss", "Hit",
+		"In-package victim hit; zero penalty beyond the TLB miss", m, c})
+	m, c = mk(r, core.MissColdFill)
+	rows = append(rows, Table1Row{"Miss", "Miss",
+		"Off-package miss; cache fill and GIPT update", m, c})
+	m, c = mk(r, core.MissPendingWait)
+	rows = append(rows, Table1Row{"Miss", "Pending",
+		"Concurrent fill in flight; busy-wait on the PU bit", m, c})
+	return rows, nil
+}
+
+// Table2Row quantifies one design against Table 2's qualitative claims.
+type Table2Row struct {
+	Design        Design
+	TagStorageMB  float64 // on-die SRAM for tags (paper scale)
+	TagInDRAMMB   float64 // in-package DRAM consumed by tags (paper scale)
+	L3HitRate     float64
+	AvgL3Latency  float64
+	InPkgRowHit   float64 // DRAM row-buffer locality
+	OverFetchGB   float64 // off-package traffic (over-fetch proxy)
+	NormalizedIPC float64
+}
+
+// RunTable2 measures the design-comparison table on one mix.
+func RunTable2(o Options, workload string) ([]Table2Row, error) {
+	if workload == "" {
+		workload = "MIX3"
+	}
+	base, err := Run(NoL3, workload, o)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table2Row
+	for _, d := range []Design{AlloyBlock, SRAMTag, Tagless} {
+		r, err := Run(d, workload, o)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Design:       d,
+			L3HitRate:    r.L3HitRate,
+			AvgL3Latency: r.AvgL3Latency,
+			InPkgRowHit:  r.InPkgRowHitRate,
+			OverFetchGB:  float64(r.OffPkgBytes) / 1e9,
+		}
+		cfg := configFor(d, o)
+		paperCache := cfg.CacheSize << o.Shift
+		switch d {
+		case SRAMTag:
+			// The tag array at paper scale (4MB for a 1GB cache).
+			row.TagStorageMB = float64(config.TagParamsFor(paperCache).TagBytes) / float64(config.MB)
+		case AlloyBlock:
+			// Tags live in DRAM: 8B per 64B line (the 128MB/GB problem).
+			row.TagInDRAMMB = float64(config.BlockTagBytes(paperCache)) / float64(config.MB)
+		}
+		if base.IPC > 0 {
+			row.NormalizedIPC = r.IPC / base.IPC
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table6Row re-exports the SRAM tag-array design points.
+type Table6Row = config.TagParams
+
+// RunTable6 returns Table 6: tag size and latency versus cache size.
+func RunTable6() []Table6Row { return config.Table6() }
+
+// AMATRow cross-checks the analytic model (Equations 1–5) against the
+// simulator for one workload. The closed forms use contention-free device
+// latencies, so their absolute values are lower bounds on the simulated
+// (queued) latencies; the structural check is the SRAM−tagless *gap*,
+// which cancels the common queueing terms.
+type AMATRow struct {
+	Workload      string
+	SimSRAMLat    float64
+	ModelSRAMLat  float64 // queueing-free lower bound
+	SimCTLBLat    float64
+	ModelCTLBLat  float64 // queueing-free lower bound
+	SimGap        float64 // SimSRAMLat − SimCTLBLat
+	ModelGap      float64 // ModelSRAMLat − ModelCTLBLat
+	SRAMErrorPC   float64
+	CTLBErrorPC   float64
+	VictimMissRte float64
+}
+
+// RunAMATCheck feeds each workload's measured rates into the closed-form
+// AMAT model and reports the relative error against the simulated average
+// L3 latency.
+func RunAMATCheck(o Options, workloads []string) ([]AMATRow, error) {
+	if len(workloads) == 0 {
+		workloads = []string{"sphinx3", "libquantum", "GemsFDTD"}
+	}
+	cfg := configFor(SRAMTag, o)
+	tag := config.TagParamsFor(cfg.CacheSize)
+	var out []AMATRow
+	for _, wl := range workloads {
+		rs, err := Run(SRAMTag, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := Run(Tagless, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		accesses := float64(rt.TLBLookups)
+		if accesses == 0 {
+			continue
+		}
+		victimMiss := 0.0
+		if n := rt.Ctrl.VictimHits + rt.Ctrl.ColdFills; n > 0 {
+			victimMiss = float64(rt.Ctrl.ColdFills) / float64(n)
+		}
+		in := amat.Inputs{
+			MissRateTLB:    rt.TLBMissRate,
+			MissRateL12:    float64(rt.L3Accesses) / accesses,
+			MissRateL3:     1 - rs.L3HitRate,
+			MissRateVictim: victimMiss,
+			MissPenaltyTLB: float64(cfg.PageWalkCycles),
+			HitTimeL12:     float64(cfg.L1D.LatencyCycle),
+			TagAccess:      float64(tag.LatencyCyc),
+			// Component latencies from the device model, with a queueing
+			// allowance measured as the gap between simulated latency
+			// and the open-bank service time.
+			BlockInPkg:      rrBlockInPkg(o),
+			PageOffPkg:      rrPageOffPkg(o),
+			GIPTAccess:      rrGIPT(o),
+			BlockOffPkgMiss: rrBlockOffPkg(o),
+		}
+		row := AMATRow{
+			Workload:      wl,
+			SimSRAMLat:    rs.AvgL3Latency,
+			ModelSRAMLat:  amat.AvgL3LatencySRAMFig8(in),
+			SimCTLBLat:    rt.AvgL3Latency,
+			ModelCTLBLat:  amat.AvgL3LatencyTagless(in),
+			VictimMissRte: victimMiss,
+		}
+		row.SimGap = row.SimSRAMLat - row.SimCTLBLat
+		row.ModelGap = row.ModelSRAMLat - row.ModelCTLBLat
+		if row.SimSRAMLat > 0 {
+			row.SRAMErrorPC = (row.ModelSRAMLat - row.SimSRAMLat) / row.SimSRAMLat * 100
+		}
+		if row.SimCTLBLat > 0 {
+			row.CTLBErrorPC = (row.ModelCTLBLat - row.SimCTLBLat) / row.SimCTLBLat * 100
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SharedPageRow is one configuration of the shared-page study (the
+// Section 6 extension): how the tagless cache handles pages shared by all
+// four processes of a mix.
+type SharedPageRow struct {
+	Config      string
+	IPC         float64
+	OffPkgGB    float64
+	AliasHits   uint64
+	NCAccesses  uint64
+	L3HitRate   float64
+	ColdFills   uint64
+	TagOrAliasB int64 // on-die tag bytes, or alias-table bytes (paper scale)
+}
+
+// RunSharedPages runs the Section 6 shared-page study: every program of a
+// mix spends `sharedFrac` of its page visits in a common shared region
+// (library/kernel pages). Three configurations are compared: the SRAM-tag
+// baseline (physical indexing shares naturally), the tagless default
+// (shared pages marked non-cacheable, Section 3.5), and the tagless cache
+// with the alias table (Section 6).
+func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow, error) {
+	if mix == "" {
+		mix = "MIX1"
+	}
+	if sharedFrac <= 0 {
+		sharedFrac = 0.15
+	}
+	build := func(design Design, alias bool) (*Result, error) {
+		w, err := system.Mix(mix, o.Shift, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := range w.PerCore {
+			w.PerCore[i].SharedFrac = sharedFrac
+		}
+		oo := o
+		oo.SharedAliasTable = alias
+		cfg := configFor(design, oo)
+		m, err := system.New(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		warm := oo.Warmup
+		if warm == 0 {
+			warm = oo.Measure
+		}
+		return m.Run(warm, oo.Measure)
+	}
+	var rows []SharedPageRow
+	type variant struct {
+		name   string
+		design Design
+		alias  bool
+	}
+	for _, v := range []variant{
+		{"SRAM (PA indexing shares naturally)", SRAMTag, false},
+		{"cTLB (shared pages non-cacheable)", Tagless, false},
+		{"cTLB (PA->CA alias table)", Tagless, true},
+	} {
+		r, err := build(v.design, v.alias)
+		if err != nil {
+			return nil, fmt.Errorf("shared-page study %s: %w", v.name, err)
+		}
+		row := SharedPageRow{
+			Config:     v.name,
+			IPC:        r.IPC,
+			OffPkgGB:   float64(r.OffPkgBytes) / 1e9,
+			AliasHits:  r.Ctrl.AliasHits,
+			NCAccesses: r.NCAccesses,
+			L3HitRate:  r.L3HitRate,
+			ColdFills:  r.Ctrl.ColdFills,
+		}
+		cfg := configFor(v.design, o)
+		switch {
+		case v.design == SRAMTag:
+			row.TagOrAliasB = config.TagParamsFor(cfg.CacheSize << o.Shift).TagBytes
+		case v.alias:
+			// One 8-byte PPN->CA entry per cached page, at paper scale.
+			row.TagOrAliasB = (int64(cfg.CachePages()) << o.Shift) * 8
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// HotFilterRow is one threshold of the online hot-page-filter study (the
+// CHOP-style mechanism the paper cites as complementary in Section 3.5).
+type HotFilterRow struct {
+	Threshold  int // 0 = filter disabled
+	IPC        float64
+	OffPkgGB   float64
+	ColdFills  uint64
+	NCAccesses uint64
+}
+
+// RunHotFilter sweeps the online hot-page-filter threshold on a
+// low-reuse workload: higher thresholds keep more cold pages out of the
+// cache, trading block-granularity off-package accesses for avoided
+// page-granularity over-fetch.
+func RunHotFilter(o Options, workload string, thresholds []int) ([]HotFilterRow, error) {
+	if workload == "" {
+		workload = "GemsFDTD"
+	}
+	if len(thresholds) == 0 {
+		thresholds = []int{0, 4, 16, 64}
+	}
+	var rows []HotFilterRow
+	for _, th := range thresholds {
+		oo := o
+		oo.HotFilterThreshold = th
+		r, err := Run(Tagless, workload, oo)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HotFilterRow{
+			Threshold:  th,
+			IPC:        r.IPC,
+			OffPkgGB:   float64(r.OffPkgBytes) / 1e9,
+			ColdFills:  r.Ctrl.ColdFills,
+			NCAccesses: r.NCAccesses,
+		})
+	}
+	return rows, nil
+}
+
+// SuperpageRow is one configuration of the Section 6 superpage study.
+type SuperpageRow struct {
+	Workload    string
+	Config      string // "4KB pages", "2MB superpages", "2MB + NC singletons"
+	IPC         float64
+	TLBMissRate float64
+	OffPkgGB    float64
+	ColdFills   uint64
+	L3Latency   float64
+}
+
+// RunSuperpages runs the Section 6 superpage study: raising the caching
+// granularity to 2MB-equivalent regions extends the cTLB reach and cuts
+// walk counts, but amplifies over-fetch for low-locality programs — the
+// judicious-application trade-off the paper describes. Low-reuse pages are
+// always non-cacheable under superpages (the paper's safety valve).
+func RunSuperpages(o Options, workloads []string) ([]SuperpageRow, error) {
+	if len(workloads) == 0 {
+		// One high-spatial-locality streaming program and one
+		// pointer-chasing program with poor within-region locality.
+		workloads = []string{"lbm", "mcf", "GemsFDTD"}
+	}
+	var rows []SuperpageRow
+	for _, wl := range workloads {
+		base, err := Run(Tagless, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		osp := o
+		osp.Superpages = true
+		sp, err := Run(Tagless, wl, osp)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			SuperpageRow{Workload: wl, Config: "4KB pages", IPC: base.IPC,
+				TLBMissRate: base.TLBMissRate, OffPkgGB: float64(base.OffPkgBytes) / 1e9,
+				ColdFills: base.Ctrl.ColdFills, L3Latency: base.AvgL3Latency},
+			SuperpageRow{Workload: wl, Config: "2MB superpages", IPC: sp.IPC,
+				TLBMissRate: sp.TLBMissRate, OffPkgGB: float64(sp.OffPkgBytes) / 1e9,
+				ColdFills: sp.Ctrl.ColdFills, L3Latency: sp.AvgL3Latency},
+		)
+	}
+	return rows, nil
+}
+
+// TLBReachRow is one point of the victim-cache study: how much of the
+// tagless cache's traffic is served inside the cTLB reach versus rescued
+// from the victim region (Section 3.1's split of the cache space).
+type TLBReachRow struct {
+	L2TLBEntries  int
+	IPC           float64
+	TLBMissRate   float64
+	VictimHits    uint64
+	ColdFills     uint64
+	VictimHitFrac float64 // victim hits / cTLB misses with cacheable pages
+}
+
+// RunTLBReach sweeps the L2 TLB capacity to show the paper's premise: the
+// cache region beyond the TLB reach works as a victim cache, so shrinking
+// the TLB trades pure cTLB hits for victim hits — not for misses.
+func RunTLBReach(o Options, workload string, entries []int) ([]TLBReachRow, error) {
+	if workload == "" {
+		workload = "mcf"
+	}
+	if len(entries) == 0 {
+		entries = []int{128, 256, 512, 1024}
+	}
+	var rows []TLBReachRow
+	for _, n := range entries {
+		oo := o
+		oo.L2TLBEntries = n
+		r, err := Run(Tagless, workload, oo)
+		if err != nil {
+			return nil, err
+		}
+		row := TLBReachRow{
+			L2TLBEntries: n,
+			IPC:          r.IPC,
+			TLBMissRate:  r.TLBMissRate,
+			VictimHits:   r.Ctrl.VictimHits,
+			ColdFills:    r.Ctrl.ColdFills,
+		}
+		if d := r.Ctrl.VictimHits + r.Ctrl.ColdFills; d > 0 {
+			row.VictimHitFrac = float64(r.Ctrl.VictimHits) / float64(d)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FairnessRow reports multiprogrammed quality metrics for one design on
+// one mix: weighted speedup (throughput) and harmonic speedup (fairness),
+// both against each program running alone on the same configuration.
+type FairnessRow struct {
+	Design           Design
+	MixIPC           float64
+	WeightedSpeedup  float64 // sum of per-program IPC_mix / IPC_alone
+	HarmonicSpeedup  float64 // N / sum(IPC_alone / IPC_mix)
+	PerProgSlowdowns []float64
+}
+
+// RunFairness measures weighted and harmonic speedups for a mix across the
+// cache designs, the standard multiprogrammed methodology complementing
+// the paper's aggregate IPC bars.
+func RunFairness(o Options, mix string) ([]FairnessRow, error) {
+	if mix == "" {
+		mix = "MIX5"
+	}
+	progs, ok := trace.Mixes()[mix]
+	if !ok {
+		return nil, fmt.Errorf("taglessdram: unknown mix %q", mix)
+	}
+	var rows []FairnessRow
+	for _, d := range []Design{NoL3, SRAMTag, Tagless} {
+		mixRes, err := Run(d, mix, o)
+		if err != nil {
+			return nil, err
+		}
+		row := FairnessRow{Design: d, MixIPC: mixRes.IPC}
+		var invSum float64
+		for i, prog := range progs {
+			w, err := system.SingleProgramOn(prog, 1, o.Shift, o.Seed+uint64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			cfg := configFor(d, o)
+			m, err := system.New(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			warm := o.Warmup
+			if warm == 0 {
+				warm = o.Measure
+			}
+			alone, err := m.Run(warm, o.Measure)
+			if err != nil {
+				return nil, err
+			}
+			if i >= len(mixRes.PerCoreIPC) || alone.IPC == 0 {
+				continue
+			}
+			s := mixRes.PerCoreIPC[i] / alone.IPC
+			row.WeightedSpeedup += s
+			if s > 0 {
+				invSum += 1 / s
+			}
+			row.PerProgSlowdowns = append(row.PerProgSlowdowns, s)
+		}
+		if invSum > 0 {
+			row.HarmonicSpeedup = float64(len(row.PerProgSlowdowns)) / invSum
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Component latencies for the analytic model, derived from Table 4 at
+// 3GHz. They use the average of open- and closed-row service.
+func rrBlockInPkg(o Options) float64  { return 75 }
+func rrBlockOffPkg(o Options) float64 { return 130 }
+func rrPageOffPkg(o Options) float64  { return 1100 }
+func rrGIPT(o Options) float64        { return 210 }
+
+// GeoMeanNormIPC aggregates rows' normalized IPC for one design (the
+// paper's geomean bars).
+func GeoMeanNormIPC(rows []DesignRow, d Design) float64 {
+	var xs []float64
+	for _, r := range rows {
+		if r.Design == d {
+			xs = append(xs, r.NormIPC)
+		}
+	}
+	return stats.GeoMean(xs)
+}
+
+// GeoMeanNormEDP aggregates rows' normalized EDP for one design.
+func GeoMeanNormEDP(rows []DesignRow, d Design) float64 {
+	var xs []float64
+	for _, r := range rows {
+		if r.Design == d {
+			xs = append(xs, r.NormEDP)
+		}
+	}
+	return stats.GeoMean(xs)
+}

@@ -1,0 +1,3 @@
+module taglessdram
+
+go 1.22

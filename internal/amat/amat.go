@@ -1,0 +1,126 @@
+// Package amat implements the paper's analytic average-memory-access-time
+// model: Equations 1–3 for the SRAM-tag page cache and Equations 4–5 for
+// the proposed tagless cache (Sections 2.2 and 3.1). The experiments
+// cross-check the cycle-level simulator against these closed forms.
+package amat
+
+import "fmt"
+
+// Inputs carries the rates and component latencies (in CPU cycles) the
+// equations consume. Rates are fractions in [0,1].
+type Inputs struct {
+	// Rates.
+	MissRateTLB    float64 // TLB (or cTLB) misses per memory access
+	MissRateL12    float64 // on-die L1/L2 misses per memory access
+	MissRateL3     float64 // SRAM-tag L3 miss rate (per L3 access)
+	MissRateVictim float64 // tagless: cTLB misses that also miss the victim cache
+
+	// Latencies in cycles.
+	MissPenaltyTLB  float64 // page-table walk
+	HitTimeL12      float64 // on-die hit service time
+	TagAccess       float64 // SRAM tag-array lookup (Table 6)
+	BlockInPkg      float64 // 64B access to in-package DRAM
+	PageOffPkg      float64 // 4KB page access to off-package DRAM
+	GIPTAccess      float64 // GIPT update (conservatively 2 off-package writes)
+	BlockOffPkgMiss float64 // off-package 64B access (NoL3 baseline / NC pages)
+}
+
+// Validate reports the first out-of-range field.
+func (in Inputs) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"MissRateTLB", in.MissRateTLB}, {"MissRateL12", in.MissRateL12},
+		{"MissRateL3", in.MissRateL3}, {"MissRateVictim", in.MissRateVictim},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("amat: %s = %v out of [0,1]", r.name, r.v)
+		}
+	}
+	lats := []struct {
+		name string
+		v    float64
+	}{
+		{"MissPenaltyTLB", in.MissPenaltyTLB}, {"HitTimeL12", in.HitTimeL12},
+		{"TagAccess", in.TagAccess}, {"BlockInPkg", in.BlockInPkg},
+		{"PageOffPkg", in.PageOffPkg}, {"GIPTAccess", in.GIPTAccess},
+		{"BlockOffPkgMiss", in.BlockOffPkgMiss},
+	}
+	for _, l := range lats {
+		if l.v < 0 {
+			return fmt.Errorf("amat: %s = %v negative", l.name, l.v)
+		}
+	}
+	return nil
+}
+
+// AvgL3LatencySRAM is Equation 3: the average L3 access latency of the
+// SRAM-tag cache — tag check plus in-package block access plus, on a miss,
+// the off-package page access.
+func AvgL3LatencySRAM(in Inputs) float64 {
+	return in.TagAccess + in.BlockInPkg + in.MissRateL3*in.PageOffPkg
+}
+
+// SRAMTag is Equation 1 (with Equation 2 inlined): the AMAT of the
+// SRAM-tag page cache including both translation steps.
+func SRAMTag(in Inputs) float64 {
+	amatTLBHit := in.HitTimeL12 + in.MissRateL12*AvgL3LatencySRAM(in)
+	return in.MissRateTLB*in.MissPenaltyTLB + amatTLBHit
+}
+
+// MissPenaltyCTLB is Equation 5: the cTLB miss penalty — the conventional
+// walk plus, when the victim cache also misses, the GIPT update and the
+// off-package page fill.
+func MissPenaltyCTLB(in Inputs) float64 {
+	return in.MissPenaltyTLB + in.MissRateVictim*(in.GIPTAccess+in.PageOffPkg)
+}
+
+// Tagless is Equation 4: the AMAT of the proposed cache. A cTLB hit
+// guarantees a DRAM-cache hit, so the L3 term is a bare in-package block
+// access with no tag check.
+func Tagless(in Inputs) float64 {
+	return in.MissRateTLB*MissPenaltyCTLB(in) +
+		in.HitTimeL12 +
+		in.MissRateL12*in.BlockInPkg
+}
+
+// AvgL3LatencyTagless gives the Figure 8 metric for the tagless design:
+// per L3 access, the bare in-package block access plus the amortized
+// cTLB-handler work attributable to L3 traffic ("only access latency after
+// an L2 cache miss, including TLB access time, is counted").
+func AvgL3LatencyTagless(in Inputs) float64 {
+	if in.MissRateL12 == 0 {
+		return in.BlockInPkg
+	}
+	perL3TLBCost := in.MissRateTLB * MissPenaltyCTLB(in) / in.MissRateL12
+	return in.BlockInPkg + perL3TLBCost
+}
+
+// AvgL3LatencySRAMFig8 gives the Figure 8 metric for the SRAM-tag design:
+// Equation 3 plus the conventional TLB-miss cost amortized over L3
+// accesses, so both designs' translation work is counted the same way.
+func AvgL3LatencySRAMFig8(in Inputs) float64 {
+	l3 := AvgL3LatencySRAM(in)
+	if in.MissRateL12 == 0 {
+		return l3
+	}
+	return l3 + in.MissRateTLB*in.MissPenaltyTLB/in.MissRateL12
+}
+
+// NoL3 is the no-DRAM-cache baseline: every on-die miss goes off-package.
+func NoL3(in Inputs) float64 {
+	return in.MissRateTLB*in.MissPenaltyTLB +
+		in.HitTimeL12 +
+		in.MissRateL12*in.BlockOffPkgMiss
+}
+
+// Speedup returns baselineAMAT/designAMAT (>1 means the design is faster),
+// a proxy for the IPC ratio of memory-bound code.
+func Speedup(baselineAMAT, designAMAT float64) float64 {
+	if designAMAT == 0 {
+		return 0
+	}
+	return baselineAMAT / designAMAT
+}

@@ -1,0 +1,189 @@
+package amat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperInputs approximates the evaluated machine: 3GHz, Table 4 devices,
+// 11-cycle tags (Table 6, 1GB), 40-cycle walks.
+// The rates are mutually consistent: both designs cache the same pages, so
+// SRAM's L3 miss rate equals the tagless fill rate per L3 access
+// (MissRateTLB × MissRateVictim / MissRateL12 = 0.002·0.3/0.025 = 0.024).
+func paperInputs() Inputs {
+	return Inputs{
+		MissRateTLB:     0.002,
+		MissRateL12:     0.025,
+		MissRateL3:      0.024,
+		MissRateVictim:  0.3,
+		MissPenaltyTLB:  40,
+		HitTimeL12:      4,
+		TagAccess:       11,
+		BlockInPkg:      58,
+		PageOffPkg:      1050,
+		GIPTAccess:      200,
+		BlockOffPkgMiss: 100,
+	}
+}
+
+func TestEquation3(t *testing.T) {
+	in := paperInputs()
+	got := AvgL3LatencySRAM(in)
+	want := 11 + 58 + 0.024*1050
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AvgL3 = %v, want %v", got, want)
+	}
+}
+
+func TestEquation1(t *testing.T) {
+	in := paperInputs()
+	want := 0.002*40 + 4 + 0.025*(11+58+0.024*1050)
+	if got := SRAMTag(in); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SRAMTag = %v, want %v", got, want)
+	}
+}
+
+func TestEquation5(t *testing.T) {
+	in := paperInputs()
+	want := 40 + 0.3*(200+1050)
+	if got := MissPenaltyCTLB(in); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MissPenaltyCTLB = %v, want %v", got, want)
+	}
+}
+
+func TestEquation4(t *testing.T) {
+	in := paperInputs()
+	want := 0.002*(40+0.3*(200+1050)) + 4 + 0.025*58
+	if got := Tagless(in); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Tagless = %v, want %v", got, want)
+	}
+}
+
+func TestTaglessBeatsSRAMAtPaperPoint(t *testing.T) {
+	// Section 3.1: AMAT_Tagless is consistently lower than AMAT_SRAM-tag
+	// for the evaluated configurations.
+	in := paperInputs()
+	if Tagless(in) >= SRAMTag(in) {
+		t.Fatalf("tagless %v not below SRAM-tag %v", Tagless(in), SRAMTag(in))
+	}
+}
+
+func TestBothCachesBeatNoL3(t *testing.T) {
+	in := paperInputs()
+	if SRAMTag(in) >= NoL3(in) || Tagless(in) >= NoL3(in) {
+		t.Fatalf("caches should beat NoL3: sram=%v tagless=%v nol3=%v",
+			SRAMTag(in), Tagless(in), NoL3(in))
+	}
+}
+
+func TestTagLatencySensitivity(t *testing.T) {
+	// Zeroing the tag latency should close most of the gap.
+	in := paperInputs()
+	gap := SRAMTag(in) - Tagless(in)
+	in.TagAccess = 0
+	gap0 := SRAMTag(in) - Tagless(in)
+	if gap0 >= gap {
+		t.Fatalf("gap with free tags (%v) should shrink from %v", gap0, gap)
+	}
+}
+
+func TestAvgL3LatencyTagless(t *testing.T) {
+	in := paperInputs()
+	got := AvgL3LatencyTagless(in)
+	if got <= in.BlockInPkg {
+		t.Fatalf("tagless L3 latency %v must include amortized handler cost", got)
+	}
+	// With no L3 traffic the latency degenerates to the block access.
+	in.MissRateL12 = 0
+	if AvgL3LatencyTagless(in) != in.BlockInPkg {
+		t.Fatal("degenerate case wrong")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	// With high hit rates (victim miss rate low) tagless L3 latency is
+	// below SRAM-tag's; a first-touch-dominated program (GemsFDTD-like,
+	// victim miss rate near 1) shows no significant difference.
+	in := paperInputs()
+	if AvgL3LatencyTagless(in) >= AvgL3LatencySRAMFig8(in) {
+		t.Fatalf("tagless %v not below SRAM %v",
+			AvgL3LatencyTagless(in), AvgL3LatencySRAMFig8(in))
+	}
+	// First-touch dominated (GemsFDTD-like): victim misses ≈ 1, and the
+	// SRAM cache misses at the matching rate — the gap nearly vanishes.
+	gems := in
+	gems.MissRateVictim = 0.95
+	gems.MissRateTLB = 0.01
+	gems.MissRateL3 = gems.MissRateTLB * gems.MissRateVictim / gems.MissRateL12
+	diff := math.Abs(AvgL3LatencyTagless(gems) - AvgL3LatencySRAMFig8(gems))
+	rel := diff / AvgL3LatencySRAMFig8(gems)
+	if rel > 0.25 {
+		t.Fatalf("first-touch-dominated gap = %.0f%%, want small", rel*100)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(100, 80) != 1.25 {
+		t.Fatal("speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("zero denominator should give 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := paperInputs()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.MissRateTLB = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	bad = good
+	bad.TagAccess = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+// Property: AMAT is monotone in each miss rate — more misses never makes
+// memory faster.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		in := paperInputs()
+		lo := float64(a%100) / 100
+		hi := lo + float64(b%100)/100*(1-lo)
+		inLo, inHi := in, in
+		inLo.MissRateL12, inHi.MissRateL12 = lo, hi
+		if SRAMTag(inLo) > SRAMTag(inHi)+1e-9 || Tagless(inLo) > Tagless(inHi)+1e-9 {
+			return false
+		}
+		inLo, inHi = in, in
+		inLo.MissRateTLB, inHi.MissRateTLB = lo, hi
+		return SRAMTag(inLo) <= SRAMTag(inHi)+1e-9 && Tagless(inLo) <= Tagless(inHi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tagless advantage grows with tag latency, all else equal.
+func TestTagLatencyGrowsGapProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		t1, t2 := float64(a%50), float64(b%50)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		in1, in2 := paperInputs(), paperInputs()
+		in1.TagAccess, in2.TagAccess = t1, t2
+		gap1 := SRAMTag(in1) - Tagless(in1)
+		gap2 := SRAMTag(in2) - Tagless(in2)
+		return gap1 <= gap2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package amat
+
+import "fmt"
+
+// CPIInputs extends the AMAT model to whole-program cycles-per-instruction,
+// mirroring the simulator's core model: a base issue term plus the exposed
+// (non-overlapped) memory time. Only TLB-miss handling and dependent-load
+// latency are exposed; independent misses overlap in the MSHR window.
+type CPIInputs struct {
+	IssueWidth   int     // retired instructions per cycle when not stalled
+	RefsPerInstr float64 // memory references per instruction
+	DepFrac      float64 // fraction of references on dependence chains
+}
+
+// Validate reports the first out-of-range field.
+func (c CPIInputs) Validate() error {
+	switch {
+	case c.IssueWidth <= 0:
+		return errf("IssueWidth %d must be positive", c.IssueWidth)
+	case c.RefsPerInstr < 0 || c.RefsPerInstr > 1:
+		return errf("RefsPerInstr %v out of [0,1]", c.RefsPerInstr)
+	case c.DepFrac < 0 || c.DepFrac > 1:
+		return errf("DepFrac %v out of [0,1]", c.DepFrac)
+	}
+	return nil
+}
+
+// cpi composes the base issue cost with per-reference exposed memory time.
+func (c CPIInputs) cpi(tlbPerRef, tlbPenalty, l3PerRef, l3Lat float64) float64 {
+	base := 1 / float64(c.IssueWidth)
+	exposed := tlbPerRef*tlbPenalty + c.DepFrac*l3PerRef*l3Lat
+	return base + c.RefsPerInstr*exposed
+}
+
+// PredictCPINoL3 predicts cycles-per-instruction for the no-DRAM-cache
+// baseline.
+func PredictCPINoL3(in Inputs, c CPIInputs) float64 {
+	return c.cpi(in.MissRateTLB, in.MissPenaltyTLB, in.MissRateL12, in.BlockOffPkgMiss)
+}
+
+// MissPenaltyCTLBCritical is the Equation 5 penalty under
+// critical-block-first fills: the handler waits for the GIPT update and
+// the faulting 64B block, not the whole page transfer.
+func MissPenaltyCTLBCritical(in Inputs) float64 {
+	return in.MissPenaltyTLB + in.MissRateVictim*(in.GIPTAccess+in.BlockOffPkgMiss)
+}
+
+// PredictCPISRAMTag predicts CPI for the SRAM-tag page cache. L3 hits are
+// exposed only on dependence chains; L3 misses serialize the requester
+// until the critical block arrives (tag check plus one off-package block),
+// matching the simulator's fill path.
+func PredictCPISRAMTag(in Inputs, c CPIInputs) float64 {
+	base := 1 / float64(c.IssueWidth)
+	hitExposed := c.DepFrac * (1 - in.MissRateL3) * (in.TagAccess + in.BlockInPkg)
+	missExposed := in.MissRateL3 * (in.TagAccess + in.BlockOffPkgMiss)
+	exposed := in.MissRateTLB*in.MissPenaltyTLB + in.MissRateL12*(hitExposed+missExposed)
+	return base + c.RefsPerInstr*exposed
+}
+
+// PredictCPITagless predicts CPI for the tagless cache: cTLB misses expose
+// the critical-block Equation 5 penalty; dependent L3 accesses expose only
+// the bare in-package block access (no tag term).
+func PredictCPITagless(in Inputs, c CPIInputs) float64 {
+	return c.cpi(in.MissRateTLB, MissPenaltyCTLBCritical(in), in.MissRateL12, in.BlockInPkg)
+}
+
+// PredictIPC converts a predicted CPI to IPC.
+func PredictIPC(cpi float64) float64 {
+	if cpi <= 0 {
+		return 0
+	}
+	return 1 / cpi
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("amat: "+format, args...)
+}

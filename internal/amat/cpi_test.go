@@ -1,0 +1,108 @@
+package amat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cpiInputs() CPIInputs {
+	return CPIInputs{IssueWidth: 4, RefsPerInstr: 0.11, DepFrac: 0.45}
+}
+
+func TestCPIValidation(t *testing.T) {
+	good := cpiInputs()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*CPIInputs){
+		func(c *CPIInputs) { c.IssueWidth = 0 },
+		func(c *CPIInputs) { c.RefsPerInstr = 2 },
+		func(c *CPIInputs) { c.DepFrac = -0.1 },
+	} {
+		c := cpiInputs()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid inputs accepted: %+v", c)
+		}
+	}
+}
+
+func TestCPIDesignOrdering(t *testing.T) {
+	// At a steady-state (reuse-dominated) operating point the analytic
+	// CPI model must reproduce the design ordering:
+	// tagless < SRAM-tag < NoL3.
+	in, c := paperInputs(), cpiInputs()
+	in.MissRateVictim = 0.1
+	in.MissRateL3 = in.MissRateTLB * in.MissRateVictim / in.MissRateL12
+	noL3 := PredictCPINoL3(in, c)
+	sram := PredictCPISRAMTag(in, c)
+	ctlb := PredictCPITagless(in, c)
+	if !(ctlb < sram && sram < noL3) {
+		t.Fatalf("CPI ordering wrong: cTLB=%.4f SRAM=%.4f NoL3=%.4f", ctlb, sram, noL3)
+	}
+	if ipc := PredictIPC(ctlb); ipc <= PredictIPC(sram) {
+		t.Fatalf("IPC inversion: %v vs %v", ipc, PredictIPC(sram))
+	}
+}
+
+func TestCPIBaseFloor(t *testing.T) {
+	// With no memory references, CPI collapses to the issue floor.
+	in, c := paperInputs(), cpiInputs()
+	c.RefsPerInstr = 0
+	for _, cpi := range []float64{
+		PredictCPINoL3(in, c), PredictCPISRAMTag(in, c), PredictCPITagless(in, c),
+	} {
+		if cpi != 0.25 {
+			t.Fatalf("memory-free CPI = %v, want 0.25", cpi)
+		}
+	}
+}
+
+func TestPredictIPCEdge(t *testing.T) {
+	if PredictIPC(0) != 0 || PredictIPC(-1) != 0 {
+		t.Fatal("non-positive CPI should predict zero IPC")
+	}
+	if PredictIPC(0.5) != 2 {
+		t.Fatal("IPC inversion wrong")
+	}
+}
+
+// Property: CPI is monotone in memory intensity and dependence fraction —
+// more exposed memory time never speeds a program up.
+func TestCPIMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		in := paperInputs()
+		lo := float64(a%100) / 100 * 0.5
+		hi := lo + float64(b%100)/100*(0.5-lo)
+		cl, ch := cpiInputs(), cpiInputs()
+		cl.RefsPerInstr, ch.RefsPerInstr = lo, hi
+		if PredictCPITagless(in, cl) > PredictCPITagless(in, ch)+1e-12 {
+			return false
+		}
+		cl, ch = cpiInputs(), cpiInputs()
+		cl.DepFrac, ch.DepFrac = lo*2, hi*2
+		return PredictCPISRAMTag(in, cl) <= PredictCPISRAMTag(in, ch)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tagless CPI advantage over SRAM-tag grows with tag latency.
+func TestCPITagSensitivityProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		t1, t2 := float64(a%40), float64(b%40)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		c := cpiInputs()
+		in1, in2 := paperInputs(), paperInputs()
+		in1.TagAccess, in2.TagAccess = t1, t2
+		g1 := PredictCPISRAMTag(in1, c) - PredictCPITagless(in1, c)
+		g2 := PredictCPISRAMTag(in2, c) - PredictCPITagless(in2, c)
+		return g1 <= g2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

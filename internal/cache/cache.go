@@ -1,0 +1,219 @@
+// Package cache implements the on-die SRAM caches (L1 I/D and L2) as
+// set-associative, write-back, write-allocate arrays with LRU replacement.
+//
+// The model is functional: Access reports hit/miss and any victim line, and
+// the caller charges the configured latency. In the tagless design the
+// arrays are indexed and tagged by cache addresses (CA) instead of physical
+// addresses (Section 3.1); the model is agnostic — it caches whatever
+// address space the caller presents.
+package cache
+
+import (
+	"fmt"
+
+	"taglessdram/internal/config"
+)
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Addr  uint64 // base address of the displaced line
+	Dirty bool   // needs write-back
+}
+
+// Cache is one set-associative SRAM cache.
+type Cache struct {
+	cfg   config.CacheConfig
+	sets  [][]line
+	tick  uint64
+	shift uint // log2(line size)
+	mask  uint64
+
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// New constructs a cache from its configuration.
+func New(cfg config.CacheConfig) *Cache {
+	nsets := cfg.Sets()
+	if nsets <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for cfg.LineBytes>>c.shift != 1 {
+		c.shift++
+	}
+	c.mask = uint64(nsets - 1)
+	if nsets&(nsets-1) != 0 {
+		c.mask = 0 // fall back to modulo for non-power-of-two set counts
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// Latency returns the configured hit latency in cycles.
+func (c *Cache) Latency() int { return c.cfg.LatencyCycle }
+
+func (c *Cache) index(addr uint64) (setIdx int, tag uint64) {
+	block := addr >> c.shift
+	if c.mask != 0 {
+		return int(block & c.mask), block
+	}
+	return int(block % uint64(len(c.sets))), block
+}
+
+// Lookup reports whether addr is present without modifying state.
+func (c *Cache) Lookup(addr uint64) bool {
+	si, tag := c.index(addr)
+	for i := range c.sets[si] {
+		l := &c.sets[si][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a load (write=false) or store (write=true). On a miss
+// the line is allocated; if a valid line is displaced it is returned as a
+// victim (with its dirtiness) so the caller can model the write-back.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, hasVictim bool) {
+	c.Accesses++
+	c.tick++
+	si, tag := c.index(addr)
+	set := c.sets[si]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.Hits++
+			l.used = c.tick
+			if write {
+				l.dirty = true
+			}
+			return true, Victim{}, false
+		}
+	}
+	c.Misses++
+	// Choose an invalid way, else the LRU way.
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].used < set[vi].used {
+			vi = i
+		}
+	}
+	l := &set[vi]
+	if l.valid {
+		hasVictim = true
+		victim = Victim{Addr: l.tag << c.shift, Dirty: l.dirty}
+		if l.dirty {
+			c.Writebacks++
+		}
+	}
+	*l = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	return false, victim, hasVictim
+}
+
+// MarkDirty sets the dirty bit of the line containing addr if present,
+// without perturbing LRU state or counters (used to sink write-backs from
+// an upper-level cache). It reports whether the line was present.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	si, tag := c.index(addr)
+	for i := range c.sets[si] {
+		l := &c.sets[si][i]
+		if l.valid && l.tag == tag {
+			l.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr, returning whether it was
+// present and dirty (the caller models the write-back of dirty data).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	si, tag := c.index(addr)
+	for i := range c.sets[si] {
+		l := &c.sets[si][i]
+		if l.valid && l.tag == tag {
+			present, dirty = true, l.dirty
+			*l = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateRange drops every line within [base, base+size) and returns how
+// many of the dropped lines were dirty. Used when a DRAM-cache page is
+// evicted and its on-die (CA-tagged) lines must be flushed.
+func (c *Cache) InvalidateRange(base uint64, size int) (dropped, dirty int) {
+	for off := 0; off < size; off += c.cfg.LineBytes {
+		p, d := c.Invalidate(base + uint64(off))
+		if p {
+			dropped++
+			if d {
+				dirty++
+			}
+		}
+	}
+	return dropped, dirty
+}
+
+// HitRate returns hits/accesses, or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates everything, returning the number of dirty lines lost.
+func (c *Cache) Flush() (dirty int) {
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			if c.sets[si][i].valid && c.sets[si][i].dirty {
+				dirty++
+			}
+			c.sets[si][i] = line{}
+		}
+	}
+	return dirty
+}
+
+// ResetStats clears counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Hits, c.Misses, c.Writebacks = 0, 0, 0, 0
+}

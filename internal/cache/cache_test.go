@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"taglessdram/internal/config"
+)
+
+// tiny returns a 4-set, 2-way, 64B-line cache (512B) for deterministic tests.
+func tiny() *Cache {
+	return New(config.CacheConfig{SizeBytes: 512, Ways: 2, LineBytes: 64, LatencyCycle: 2})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := tiny()
+	hit, _, _ := c.Access(0x1000, false)
+	if hit {
+		t.Fatal("cold access hit")
+	}
+	hit, _, _ = c.Access(0x1000, false)
+	if !hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset, still hits.
+	hit, _, _ = c.Access(0x103F, false)
+	if !hit {
+		t.Fatal("same-line access missed")
+	}
+	if c.Accesses != 3 || c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("counters = %d/%d/%d", c.Accesses, c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny()
+	// Three lines mapping to set 0 in a 2-way cache: set stride is 4*64=256.
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU, b is LRU
+	hit, victim, hasVictim := c.Access(d, false)
+	if hit {
+		t.Fatal("conflicting access hit")
+	}
+	if !hasVictim || victim.Addr != b {
+		t.Fatalf("victim = %+v (has=%v), want addr %d", victim, hasVictim, b)
+	}
+	// a must still be present, b gone.
+	if !c.Lookup(a) || c.Lookup(b) || !c.Lookup(d) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	c := tiny()
+	c.Access(0, true) // dirty
+	c.Access(256, false)
+	_, victim, hasVictim := c.Access(512, false) // evicts line 0 (LRU)
+	if !hasVictim || !victim.Dirty || victim.Addr != 0 {
+		t.Fatalf("victim = %+v (has=%v), want dirty line 0", victim, hasVictim)
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := tiny()
+	c.Access(0, false)
+	c.Access(0, true) // mark dirty on hit
+	_, dirty := c.Invalidate(0)
+	if !dirty {
+		t.Fatal("write hit did not set dirty bit")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tiny()
+	c.Access(0x40, true)
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Fatalf("invalidate = %v,%v, want true,true", present, dirty)
+	}
+	if c.Lookup(0x40) {
+		t.Fatal("line still present after invalidate")
+	}
+	present, _ = c.Invalidate(0x40)
+	if present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := New(config.CacheConfig{SizeBytes: 8 * config.KB, Ways: 4, LineBytes: 64, LatencyCycle: 2})
+	// Touch all 8 lines of a 512-byte region, two of them dirty.
+	for off := uint64(0); off < 512; off += 64 {
+		c.Access(0x2000+off, off == 0 || off == 128)
+	}
+	dropped, dirty := c.InvalidateRange(0x2000, 512)
+	if dropped != 8 || dirty != 2 {
+		t.Fatalf("dropped=%d dirty=%d, want 8,2", dropped, dirty)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d, want 0", c.Occupancy())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := tiny()
+	c.Access(0, true)
+	c.Access(64, false)
+	if got := c.Flush(); got != 1 {
+		t.Fatalf("flush dirty = %d, want 1", got)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("flush left valid lines")
+	}
+}
+
+func TestHitRateAndReset(t *testing.T) {
+	c := tiny()
+	if c.HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", c.HitRate())
+	}
+	c.ResetStats()
+	if c.Accesses != 0 || c.HitRate() != 0 {
+		t.Fatal("reset failed")
+	}
+	if !c.Lookup(0) {
+		t.Fatal("reset must not drop contents")
+	}
+}
+
+func TestLatencyAndConfig(t *testing.T) {
+	c := tiny()
+	if c.Latency() != 2 {
+		t.Fatalf("latency = %d", c.Latency())
+	}
+	if c.Config().Ways != 2 {
+		t.Fatalf("config = %+v", c.Config())
+	}
+}
+
+func TestDefaultGeometries(t *testing.T) {
+	sc := config.Default()
+	l1 := New(sc.L1D)
+	l2 := New(sc.L2)
+	if l1.Occupancy() != 0 || l2.Occupancy() != 0 {
+		t.Fatal("new caches should be empty")
+	}
+	// Fill L1 past capacity: occupancy saturates at line count.
+	lines := int(sc.L1D.SizeBytes) / sc.L1D.LineBytes
+	for i := 0; i < 2*lines; i++ {
+		l1.Access(uint64(i*64), false)
+	}
+	if l1.Occupancy() != lines {
+		t.Fatalf("L1 occupancy = %d, want %d", l1.Occupancy(), lines)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	mustPanic := func(name string, cfg config.CacheConfig) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		New(cfg)
+	}
+	mustPanic("zero size", config.CacheConfig{SizeBytes: 0, Ways: 2, LineBytes: 64})
+	mustPanic("npot line", config.CacheConfig{SizeBytes: 1024, Ways: 2, LineBytes: 48})
+}
+
+// Property: occupancy never exceeds capacity, and hits+misses == accesses.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := tiny()
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint64(a), w)
+		}
+		if c.Hits+c.Misses != c.Accesses {
+			return false
+		}
+		return c.Occupancy() <= 8 // 4 sets * 2 ways
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: immediately after any access, the line is present.
+func TestAccessInsertsProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := tiny()
+		for _, a := range addrs {
+			c.Access(uint64(a), false)
+			if !c.Lookup(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a victim is never from a different set than the inserted line.
+func TestVictimSameSetProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := tiny()
+		for _, a := range addrs {
+			addr := uint64(a)
+			_, victim, has := c.Access(addr, false)
+			if has {
+				// Set index = (addr/64) % 4.
+				if (victim.Addr/64)%4 != (addr/64)%4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkDirtySilent(t *testing.T) {
+	c := tiny()
+	if c.MarkDirty(0x40) {
+		t.Fatal("marked absent line dirty")
+	}
+	c.Access(0x40, false)
+	before := c.Accesses
+	if !c.MarkDirty(0x40) {
+		t.Fatal("mark dirty missed resident line")
+	}
+	if c.Accesses != before {
+		t.Fatal("MarkDirty perturbed counters")
+	}
+	_, dirty := c.Invalidate(0x40)
+	if !dirty {
+		t.Fatal("dirtiness lost")
+	}
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// 3 sets x 2 ways: the modulo indexing path.
+	c := New(config.CacheConfig{SizeBytes: 384, Ways: 2, LineBytes: 64, LatencyCycle: 1})
+	for i := uint64(0); i < 12; i++ {
+		c.Access(i*64, false)
+		if !c.Lookup(i * 64) {
+			t.Fatalf("line %d missing right after access", i)
+		}
+	}
+	if c.Occupancy() > 6 {
+		t.Fatalf("occupancy %d exceeds capacity 6", c.Occupancy())
+	}
+}

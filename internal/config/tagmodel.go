@@ -1,0 +1,87 @@
+package config
+
+import "math"
+
+// TagParams describes the on-die SRAM tag array required by the SRAM-tag
+// page-cache baseline for a given DRAM-cache capacity. The paper obtained
+// these numbers from CACTI 6.5 and reports them in Table 6:
+//
+//	cache size  128MB  256MB  512MB  1GB
+//	tag size    0.5MB  1MB    2MB    4MB
+//	latency     5      6      9      11 cycles
+type TagParams struct {
+	CacheSize  int64 // DRAM-cache capacity the tags cover
+	TagBytes   int64 // SRAM storage required for the tag array
+	LatencyCyc int   // tag-array access latency in CPU cycles at 3 GHz
+	Entries    int   // number of page entries tracked
+}
+
+// table6 holds the four points published in the paper.
+var table6 = []TagParams{
+	{CacheSize: 128 * MB, TagBytes: 512 * KB, LatencyCyc: 5},
+	{CacheSize: 256 * MB, TagBytes: 1 * MB, LatencyCyc: 6},
+	{CacheSize: 512 * MB, TagBytes: 2 * MB, LatencyCyc: 9},
+	{CacheSize: 1 * GB, TagBytes: 4 * MB, LatencyCyc: 11},
+}
+
+// Table6 returns the published tag-array design points, smallest first.
+func Table6() []TagParams {
+	out := make([]TagParams, len(table6))
+	copy(out, table6)
+	for i := range out {
+		out[i].Entries = int(out[i].CacheSize / PageSize)
+	}
+	return out
+}
+
+// TagParamsFor returns the tag-array parameters for an arbitrary cache size.
+// Published points are returned exactly; other sizes are extrapolated with
+// the same trend (tag storage proportional to entry count, latency growing
+// roughly logarithmically with array size, matching the CACTI data).
+func TagParamsFor(cacheSize int64) TagParams {
+	for _, p := range table6 {
+		if p.CacheSize == cacheSize {
+			p.Entries = int(p.CacheSize / PageSize)
+			return p
+		}
+	}
+	entries := cacheSize / PageSize
+	// 16 bytes of tag+state per 4KB page matches the published ratio
+	// (4MB of tags per 256K pages of a 1GB cache).
+	tagBytes := entries * 16
+	// Fit latency ≈ a + b*log2(tagKB): the published points give
+	// 5 cycles at 512KB and 11 cycles at 4MB, i.e. b ≈ 2 cycles/doubling.
+	tagKB := float64(tagBytes) / KB
+	lat := 5 + int(math.Round(2*math.Log2(tagKB/512)))
+	if lat < 1 {
+		lat = 1
+	}
+	return TagParams{CacheSize: cacheSize, TagBytes: tagBytes, LatencyCyc: lat, Entries: int(entries)}
+}
+
+// GIPTEntryBits is the size of one global-inverted-page-table entry:
+// 36 bits of physical page number, 42 bits of PTE pointer and a 4-bit TLB
+// residence vector for a quad-core CPU (Section 3.2).
+const GIPTEntryBits = 36 + 42 + 4
+
+// GIPTBytes returns the storage footprint of the GIPT for a cache of the
+// given capacity. For 1GB this is the paper's 2.56MB (0.25% overhead).
+func GIPTBytes(cacheSize int64) int64 {
+	entries := cacheSize / PageSize
+	return entries * GIPTEntryBits / 8
+}
+
+// GIPTOverhead returns GIPT storage as a fraction of cache capacity.
+func GIPTOverhead(cacheSize int64) float64 {
+	if cacheSize == 0 {
+		return 0
+	}
+	return float64(GIPTBytes(cacheSize)) / float64(cacheSize)
+}
+
+// BlockTagBytes returns the tag storage a conventional 64B block-based
+// cache would need (the paper's motivating example: 128MB per 1GB).
+func BlockTagBytes(cacheSize int64) int64 {
+	blocks := cacheSize / BlockSize
+	return blocks * 8 // 8B of tag+metadata per 64B block (12.5%)
+}

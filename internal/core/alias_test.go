@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"taglessdram/internal/mmu"
+	"taglessdram/internal/sim"
+	"taglessdram/internal/tlb"
+)
+
+// aliasRig builds a controller with the Section 6 alias table enabled and
+// two separate address spaces sharing a frame allocator.
+type aliasRig struct {
+	c        *Controller
+	m        *fakeMem
+	k        *sim.Kernel
+	pt0, pt1 *mmu.PageTable
+}
+
+func newAliasRig(t *testing.T, blocks int) *aliasRig {
+	t.Helper()
+	cfg := Config{
+		Blocks: blocks, Alpha: 1, WalkCycles: 40,
+		SharedAliasTable: true, AliasLookupCycles: 100,
+	}
+	m := &fakeMem{fillLat: 500, evictLat: 700, giptLat: 100}
+	k := sim.NewKernel()
+	alloc := mmu.NewFrameAllocator(1 << 20)
+	return &aliasRig{
+		c:   NewController(cfg, m, k),
+		m:   m,
+		k:   k,
+		pt0: mmu.NewPageTable(0, alloc),
+		pt1: mmu.NewPageTable(1, alloc),
+	}
+}
+
+// shareFrame maps vpn in both address spaces to one physical frame.
+func (r *aliasRig) shareFrame(t *testing.T, vpn uint64) {
+	t.Helper()
+	pte, err := r.pt0.Walk(vpn) // allocates the frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.pt1.MapShared(vpn, pte.Frame); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasAvoidsDuplicateFill(t *testing.T) {
+	r := newAliasRig(t, 8)
+	r.shareFrame(t, 5)
+
+	// Process 0 faults and fills.
+	r.k.Advance(0)
+	e0, _, kind0, err := r.c.HandleTLBMiss(0, 0, r.pt0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind0 != MissColdFill {
+		t.Fatalf("first miss = %v", kind0)
+	}
+	r.k.Run(0)
+
+	// Process 1 faults on the same physical page: the alias table must
+	// attach it to the same block without a second fill.
+	r.k.Advance(10000)
+	e1, done, kind1, err := r.c.HandleTLBMiss(10000, 1, r.pt1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind1 != MissVictimHit {
+		t.Fatalf("aliased miss = %v, want victim-hit classification", kind1)
+	}
+	if e1.Frame != e0.Frame {
+		t.Fatalf("processes got different blocks: CA-%d vs CA-%d", e0.Frame, e1.Frame)
+	}
+	// Cost: walk + alias lookup, no fill.
+	if done != 10000+40+100 {
+		t.Fatalf("attach done = %d, want 10140", done)
+	}
+	if r.m.fills != 1 {
+		t.Fatalf("fills = %d, want 1", r.m.fills)
+	}
+	if r.c.Stats().AliasHits != 1 {
+		t.Fatalf("stats = %+v", r.c.Stats())
+	}
+	// Both PTEs point into the cache.
+	p0, _ := r.pt0.Lookup(5)
+	p1, _ := r.pt1.Lookup(5)
+	if !p0.VC || !p1.VC || p0.Frame != p1.Frame {
+		t.Fatalf("PTEs diverge: %v vs %v", p0, p1)
+	}
+	if err := r.c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasAttachDuringFill(t *testing.T) {
+	r := newAliasRig(t, 8)
+	r.shareFrame(t, 5)
+	// Process 0 starts the fill; process 1 faults before it completes.
+	r.k.Advance(0)
+	_, done0, _, err := r.c.HandleTLBMiss(0, 0, r.pt0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.Advance(50)
+	_, done1, kind, err := r.c.HandleTLBMiss(50, 1, r.pt1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != MissVictimHit {
+		t.Fatalf("kind = %v", kind)
+	}
+	if done1 < done0 {
+		t.Fatalf("attacher resumed at %d before the fill completed at %d", done1, done0)
+	}
+	if r.m.fills != 1 {
+		t.Fatalf("fills = %d", r.m.fills)
+	}
+	r.k.Run(0)
+	p1, _ := r.pt1.Lookup(5)
+	if !p1.VC {
+		t.Fatal("attacher's PTE never flipped to the cache address")
+	}
+	if err := r.c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasEvictionRewritesAllSharers(t *testing.T) {
+	r := newAliasRig(t, 2)
+	r.shareFrame(t, 5)
+	r.k.Advance(0)
+	if _, _, _, err := r.c.HandleTLBMiss(0, 0, r.pt0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(0)
+	r.k.Advance(1000)
+	if _, _, _, err := r.c.HandleTLBMiss(1000, 1, r.pt1, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(0)
+	// Drop residence and force eviction by filling the other block twice.
+	r.c.NoteTLBEviction(0, tlb.Entry{Frame: 0})
+	r.c.NoteTLBEviction(1, tlb.Entry{Frame: 0})
+	r.k.Advance(2000)
+	if _, _, _, err := r.c.HandleTLBMiss(2000, 0, r.pt0, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(0)
+	// The shared page was evicted: BOTH processes' PTEs must point back
+	// at the physical frame.
+	p0, _ := r.pt0.Lookup(5)
+	p1, _ := r.pt1.Lookup(5)
+	if p0.VC || p1.VC {
+		t.Fatalf("sharer PTEs still cached after eviction: %v / %v", p0, p1)
+	}
+	if p0.Frame != p1.Frame {
+		t.Fatalf("sharer frames diverge after eviction: %v vs %v", p0, p1)
+	}
+	// A re-fault must fill again (alias entry was dropped).
+	r.k.Advance(5000)
+	_, _, kind, err := r.c.HandleTLBMiss(5000, 1, r.pt1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != MissColdFill {
+		t.Fatalf("post-eviction miss = %v, want cold fill", kind)
+	}
+	if err := r.c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasRescuesPendingEvict(t *testing.T) {
+	r := newAliasRig(t, 2)
+	r.shareFrame(t, 5)
+	r.k.Advance(0)
+	if _, _, _, err := r.c.HandleTLBMiss(0, 0, r.pt0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(0)
+	r.c.NoteTLBEviction(0, tlb.Entry{Frame: 0})
+	// Fill block 2 without settling: CA-0 becomes pending-evict.
+	r.k.Advance(1000)
+	if _, _, _, err := r.c.HandleTLBMiss(1000, 0, r.pt0, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.c.GIPT().Entry(0).State != PendingEvict {
+		t.Fatalf("CA-0 = %v", r.c.GIPT().Entry(0).State)
+	}
+	// Process 1 attaches via the alias table: rescue.
+	_, _, kind, err := r.c.HandleTLBMiss(1001, 1, r.pt1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != MissVictimHit {
+		t.Fatalf("kind = %v", kind)
+	}
+	if r.c.GIPT().Entry(0).State != Cached {
+		t.Fatal("alias attach did not rescue the pending-evict block")
+	}
+	r.k.Run(0)
+	if err := r.c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasDisabledNoTable(t *testing.T) {
+	// Without the option, two processes filling the same frame duplicate
+	// the page in the cache (the aliasing problem the paper describes).
+	cfg := Config{Blocks: 8, Alpha: 1, WalkCycles: 40}
+	m := &fakeMem{fillLat: 500, evictLat: 700, giptLat: 100}
+	k := sim.NewKernel()
+	c := NewController(cfg, m, k)
+	alloc := mmu.NewFrameAllocator(16)
+	pt0 := mmu.NewPageTable(0, alloc)
+	pt1 := mmu.NewPageTable(1, alloc)
+	pte, _ := pt0.Walk(5)
+	if _, err := pt1.MapShared(5, pte.Frame); err != nil {
+		t.Fatal(err)
+	}
+	k.Advance(0)
+	e0, _, _, _ := c.HandleTLBMiss(0, 0, pt0, 5, 0)
+	k.Run(0)
+	k.Advance(1000)
+	e1, _, kind, _ := c.HandleTLBMiss(1000, 1, pt1, 5, 0)
+	k.Run(0)
+	if kind != MissColdFill {
+		t.Fatalf("kind = %v, want duplicate cold fill", kind)
+	}
+	if e0.Frame == e1.Frame {
+		t.Fatal("without the alias table the page should be duplicated")
+	}
+	if m.fills != 2 {
+		t.Fatalf("fills = %d, want 2 (the alias problem)", m.fills)
+	}
+}

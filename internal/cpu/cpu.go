@@ -1,0 +1,133 @@
+// Package cpu models one out-of-order core as a trace-driven engine: it
+// retires non-memory instructions at the issue width, overlaps independent
+// long-latency memory accesses through an MSHR window (the memory-level
+// parallelism limit), and serializes work that blocks the pipeline — TLB
+// miss handling and DRAM-cache page fills, matching the paper's AMAT
+// accounting (Equations 1 and 4 both charge the TLB miss penalty serially).
+package cpu
+
+import "taglessdram/internal/sim"
+
+// Core is one simulated core's retirement clock and MSHR window.
+type Core struct {
+	ID         int
+	IssueWidth int
+	MSHRs      int
+
+	now       sim.Tick
+	pendInstr int        // sub-cycle instruction accumulator
+	window    []sim.Tick // completion times of in-flight overlapped misses
+
+	Instructions uint64
+	MemOps       uint64
+	StallCycles  uint64 // cycles lost waiting on a full MSHR window
+	SerialCycles uint64 // cycles lost to serializing events (TLB handling, fills)
+}
+
+// New builds a core.
+func New(id, issueWidth, mshrs int) *Core {
+	if issueWidth <= 0 || mshrs <= 0 {
+		panic("cpu: issue width and MSHRs must be positive")
+	}
+	return &Core{ID: id, IssueWidth: issueWidth, MSHRs: mshrs}
+}
+
+// Now returns the core's current cycle.
+func (c *Core) Now() sim.Tick { return c.now }
+
+// Retire advances the clock by n instructions' worth of issue slots.
+func (c *Core) Retire(n int) {
+	if n <= 0 {
+		return
+	}
+	c.Instructions += uint64(n)
+	c.pendInstr += n
+	c.now += sim.Tick(c.pendInstr / c.IssueWidth)
+	c.pendInstr %= c.IssueWidth
+}
+
+// ReserveMSHR blocks until an MSHR is available and returns the issue time
+// for the next overlapped memory access. retireOldest removes the
+// earliest-completing in-flight access if the window is full.
+func (c *Core) ReserveMSHR() sim.Tick {
+	if len(c.window) >= c.MSHRs {
+		// Stall until the earliest outstanding access completes.
+		mi := 0
+		for i, t := range c.window {
+			if t < c.window[mi] {
+				mi = i
+			}
+		}
+		if c.window[mi] > c.now {
+			c.StallCycles += uint64(c.window[mi] - c.now)
+			c.now = c.window[mi]
+		}
+		c.window[mi] = c.window[len(c.window)-1]
+		c.window = c.window[:len(c.window)-1]
+	}
+	// Drop any already-completed accesses opportunistically.
+	for i := 0; i < len(c.window); {
+		if c.window[i] <= c.now {
+			c.window[i] = c.window[len(c.window)-1]
+			c.window = c.window[:len(c.window)-1]
+		} else {
+			i++
+		}
+	}
+	return c.now
+}
+
+// CompleteMSHR records an overlapped access issued by ReserveMSHR.
+func (c *Core) CompleteMSHR(done sim.Tick) {
+	c.MemOps++
+	if done > c.now {
+		c.window = append(c.window, done)
+	}
+}
+
+// Serialize blocks the core until the given cycle (TLB miss handlers and
+// page fills are not overlapped).
+func (c *Core) Serialize(done sim.Tick) {
+	c.MemOps++
+	if done > c.now {
+		c.SerialCycles += uint64(done - c.now)
+		c.now = done
+	}
+}
+
+// Block stalls the core until the given cycle, accounting the time as
+// serialized but not counting a memory operation (TLB miss handling).
+func (c *Core) Block(until sim.Tick) {
+	if until > c.now {
+		c.SerialCycles += uint64(until - c.now)
+		c.now = until
+	}
+}
+
+// Wait advances the clock without counting a memory operation.
+func (c *Core) Wait(until sim.Tick) {
+	if until > c.now {
+		c.now = until
+	}
+}
+
+// Drain waits for all in-flight accesses, ending the measured run.
+func (c *Core) Drain() {
+	for _, t := range c.window {
+		if t > c.now {
+			c.now = t
+		}
+	}
+	c.window = c.window[:0]
+}
+
+// InFlight returns the number of outstanding overlapped accesses.
+func (c *Core) InFlight() int { return len(c.window) }
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.now == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.now)
+}

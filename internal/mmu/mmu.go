@@ -1,0 +1,210 @@
+// Package mmu implements the OS-side memory-management structures the
+// tagless cache modifies: per-process page tables whose entries carry the
+// paper's three extra flag bits (Section 3.2) and a physical-frame
+// allocator for demand paging.
+//
+//   - Valid-in-Cache (VC): the page currently resides in the DRAM cache and
+//     Frame holds a cache address (block number).
+//   - Non-Cacheable (NC): the page bypasses the DRAM cache; Frame always
+//     holds the physical page number.
+//   - Pending-Update (PU): a cache fill for this page is in flight;
+//     concurrent TLB misses must busy-wait rather than issue duplicates.
+package mmu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when the backing store has no free frames.
+var ErrOutOfMemory = errors.New("mmu: out of physical memory")
+
+// PTE is a page-table entry. Frame is a physical page number (PPN) unless
+// VC is set, in which case it is a cache block number (CA).
+type PTE struct {
+	Frame uint64
+	VC    bool // valid-in-cache
+	NC    bool // non-cacheable
+	PU    bool // pending update
+	// Super marks a superpage mapping: the PTE covers a whole aligned
+	// region and Frame is the region's base PPN (or region CA when VC is
+	// set). Section 6 extends the GIPT with matching page-type bits.
+	Super bool
+}
+
+// String renders the entry like the paper's figures: "(VC,NC)=(1,0) → CA-3".
+func (p PTE) String() string {
+	kind := "PA"
+	if p.VC {
+		kind = "CA"
+	}
+	return fmt.Sprintf("(VC,NC)=(%d,%d) %s-%d", b2i(p.VC), b2i(p.NC), kind, p.Frame)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FrameAllocator hands out physical page frames from a fixed-size pool,
+// modeling the off-package DRAM capacity.
+type FrameAllocator struct {
+	next uint64
+	max  uint64
+	free []uint64
+}
+
+// NewFrameAllocator returns an allocator over `frames` physical pages.
+func NewFrameAllocator(frames uint64) *FrameAllocator {
+	return &FrameAllocator{max: frames}
+}
+
+// AllocContiguous returns the base of n physically contiguous frames, as
+// superpage mappings require. Contiguous ranges come from the bump region
+// only (the free list may be fragmented).
+func (a *FrameAllocator) AllocContiguous(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("mmu: zero-length contiguous allocation")
+	}
+	if a.next+n > a.max {
+		return 0, ErrOutOfMemory
+	}
+	base := a.next
+	a.next += n
+	return base, nil
+}
+
+// Alloc returns a free physical page number.
+func (a *FrameAllocator) Alloc() (uint64, error) {
+	if n := len(a.free); n > 0 {
+		ppn := a.free[n-1]
+		a.free = a.free[:n-1]
+		return ppn, nil
+	}
+	if a.next >= a.max {
+		return 0, ErrOutOfMemory
+	}
+	ppn := a.next
+	a.next++
+	return ppn, nil
+}
+
+// Free returns a frame to the pool.
+func (a *FrameAllocator) Free(ppn uint64) { a.free = append(a.free, ppn) }
+
+// InUse returns the number of allocated frames.
+func (a *FrameAllocator) InUse() uint64 { return a.next - uint64(len(a.free)) }
+
+// Capacity returns the total number of frames.
+func (a *FrameAllocator) Capacity() uint64 { return a.max }
+
+// PageTable maps virtual page numbers to PTEs for one address space.
+// Multi-threaded workloads share one PageTable across cores (the paper
+// notes shared pages within a process cause no aliasing); multi-programmed
+// workloads get one PageTable per core, sharing a FrameAllocator.
+type PageTable struct {
+	ASID    int
+	alloc   *FrameAllocator
+	entries map[uint64]*PTE
+
+	Walks      uint64 // demand walks performed
+	PageFaults uint64 // first-touch allocations
+}
+
+// NewPageTable creates an empty address space backed by alloc.
+func NewPageTable(asid int, alloc *FrameAllocator) *PageTable {
+	if alloc == nil {
+		panic("mmu: nil frame allocator")
+	}
+	return &PageTable{ASID: asid, alloc: alloc, entries: make(map[uint64]*PTE)}
+}
+
+// Walk returns the PTE for vpn, allocating a physical frame on first touch
+// (demand paging). The returned pointer aliases the table: the TLB miss
+// handler mutates it in place exactly as the paper's handler rewrites the
+// PTE during cache fills and evictions.
+func (pt *PageTable) Walk(vpn uint64) (*PTE, error) {
+	pt.Walks++
+	if pte, ok := pt.entries[vpn]; ok {
+		return pte, nil
+	}
+	ppn, err := pt.alloc.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	pt.PageFaults++
+	pte := &PTE{Frame: ppn}
+	pt.entries[vpn] = pte
+	return pte, nil
+}
+
+// WalkRegion returns the superpage PTE covering the aligned region of
+// `pages` pages that contains vpn, allocating physically contiguous frames
+// on first touch. The returned PTE is shared by every page of the region.
+func (pt *PageTable) WalkRegion(vpn uint64, pages uint64) (*PTE, error) {
+	pt.Walks++
+	base := vpn &^ (pages - 1)
+	if pte, ok := pt.entries[base]; ok {
+		if !pte.Super {
+			return nil, fmt.Errorf("mmu: page %d already mapped at 4KB granularity", base)
+		}
+		return pte, nil
+	}
+	ppn, err := pt.alloc.AllocContiguous(pages)
+	if err != nil {
+		return nil, err
+	}
+	pt.PageFaults++
+	pte := &PTE{Frame: ppn, Super: true}
+	pt.entries[base] = pte
+	return pte, nil
+}
+
+// MapShared maps vpn to an existing physical frame owned elsewhere (an
+// inter-process shared page). The frame's lifetime is the caller's concern;
+// this table only references it. Mapping an already-mapped vpn is an error.
+func (pt *PageTable) MapShared(vpn, ppn uint64) (*PTE, error) {
+	if _, ok := pt.entries[vpn]; ok {
+		return nil, fmt.Errorf("mmu: page %d already mapped", vpn)
+	}
+	pte := &PTE{Frame: ppn}
+	pt.entries[vpn] = pte
+	return pte, nil
+}
+
+// Lookup returns the PTE for vpn without allocating.
+func (pt *PageTable) Lookup(vpn uint64) (*PTE, bool) {
+	pte, ok := pt.entries[vpn]
+	return pte, ok
+}
+
+// SetNonCacheable pre-marks vpn as bypassing the DRAM cache (Section 3.5),
+// allocating its frame if needed.
+func (pt *PageTable) SetNonCacheable(vpn uint64) error {
+	pte, err := pt.Walk(vpn)
+	if err != nil {
+		return err
+	}
+	if pte.VC {
+		return fmt.Errorf("mmu: page %d is cached; evict before marking non-cacheable", vpn)
+	}
+	pte.NC = true
+	return nil
+}
+
+// Pages returns the number of mapped pages.
+func (pt *PageTable) Pages() int { return len(pt.entries) }
+
+// CachedPages counts entries with VC set — used to validate the invariant
+// that it always equals the number of GIPT entries pointing at this table.
+func (pt *PageTable) CachedPages() int {
+	n := 0
+	for _, pte := range pt.entries {
+		if pte.VC {
+			n++
+		}
+	}
+	return n
+}

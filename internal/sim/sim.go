@@ -1,0 +1,209 @@
+// Package sim provides the discrete-event simulation substrate: a cycle
+// type, a deterministic event queue, and timeline resources used to model
+// contention for DRAM banks and data buses.
+//
+// The simulator composes latencies on resource timelines rather than
+// ticking every cycle: a component that is busy until cycle T serves a
+// request arriving at cycle A starting at max(A, T). This preserves
+// cycle-accurate ordering and queueing delay at a fraction of the cost of
+// a per-cycle loop. The event queue orders simultaneous events by insertion
+// sequence so simulations are fully deterministic.
+package sim
+
+import "container/heap"
+
+// Tick is a point in simulated time, measured in CPU cycles.
+type Tick uint64
+
+// Event is a scheduled callback.
+type Event struct {
+	When Tick
+	fn   func(Tick)
+	seq  uint64
+	idx  int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel owns simulated time and the pending-event queue.
+type Kernel struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+}
+
+// NewKernel returns a kernel at cycle zero with no pending events.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Tick { return k.now }
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the
+// past runs the event at the current cycle instead (never travels back).
+func (k *Kernel) At(when Tick, fn func(Tick)) *Event {
+	if when < k.now {
+		when = k.now
+	}
+	e := &Event{When: when, fn: fn, seq: k.seq}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay Tick, fn func(Tick)) *Event {
+	return k.At(k.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.idx < 0 || e.idx >= len(k.events) || k.events[e.idx] != e {
+		return
+	}
+	heap.Remove(&k.events, e.idx)
+	e.idx = -1
+}
+
+// Step runs the next pending event, advancing time to it. It reports
+// whether an event was run.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	e.idx = -1
+	k.now = e.When
+	e.fn(k.now)
+	return true
+}
+
+// Run executes events until the queue is empty or the cycle limit is
+// exceeded, and returns the number of events executed. A limit of zero
+// means no limit.
+func (k *Kernel) Run(limit Tick) int {
+	n := 0
+	for len(k.events) > 0 {
+		if limit != 0 && k.events[0].When > limit {
+			break
+		}
+		k.Step()
+		n++
+	}
+	return n
+}
+
+// Advance moves time forward to the given cycle without running events
+// scheduled beyond it. Events due at or before the target fire first.
+// Advancing to the past is a no-op.
+func (k *Kernel) Advance(to Tick) {
+	for len(k.events) > 0 && k.events[0].When <= to {
+		k.Step()
+	}
+	if to > k.now {
+		k.now = to
+	}
+}
+
+// Resource is a serially reusable unit (a DRAM bank, a data bus): at most
+// one request occupies it at a time, and requests are served in arrival
+// order at the resource.
+type Resource struct {
+	freeAt Tick
+	// Busy accumulates total occupied cycles, for utilization metrics.
+	Busy Tick
+}
+
+// FreeAt returns the cycle at which the resource next becomes idle.
+func (r *Resource) FreeAt() Tick { return r.freeAt }
+
+// Acquire reserves the resource for `dur` cycles for a request arriving at
+// `at`. It returns the cycle at which service starts (≥ at) — the caller's
+// request completes at start+dur.
+func (r *Resource) Acquire(at, dur Tick) (start Tick) {
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + dur
+	r.Busy += dur
+	return start
+}
+
+// ReserveUntil blocks the resource until the given absolute cycle without
+// accounting busy time (used for refresh-like blackouts or warm-up).
+func (r *Resource) ReserveUntil(t Tick) {
+	if t > r.freeAt {
+		r.freeAt = t
+	}
+}
+
+// Occupy marks the resource busy for the interval [from, until) computed by
+// the caller, extending the free time and accounting utilization. It is used
+// when occupancy depends on other resources (e.g. a bank held open until its
+// data-bus transfer completes).
+func (r *Resource) Occupy(from, until Tick) {
+	if until > r.freeAt {
+		r.freeAt = until
+	}
+	if until > from {
+		r.Busy += until - from
+	}
+}
+
+// Utilization returns Busy as a fraction of elapsed cycles (0 when the
+// elapsed window is empty).
+func (r *Resource) Utilization(elapsed Tick) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	u := float64(r.Busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MaxTick returns the larger of a and b.
+func MaxTick(a, b Tick) Tick {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTick returns the smaller of a and b.
+func MinTick(a, b Tick) Tick {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+// Package stats provides lightweight statistics primitives used throughout
+// the simulator: counters, running means, histograms, and named registries.
+//
+// All types have useful zero values and are safe for single-goroutine use;
+// the simulator kernel is single-threaded by design (deterministic event
+// ordering), so no locking is performed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c/other as a float64, or 0 when other is zero.
+func (c *Counter) Ratio(other *Counter) float64 {
+	if other.n == 0 {
+		return 0
+	}
+	return float64(c.n) / float64(other.n)
+}
+
+// Mean accumulates a running arithmetic mean and variance using Welford's
+// online algorithm. It also tracks min and max.
+type Mean struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (m *Mean) Observe(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// Count returns the number of samples observed.
+func (m *Mean) Count() uint64 { return m.n }
+
+// Value returns the arithmetic mean, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.mean
+}
+
+// Variance returns the sample variance, or 0 with fewer than two samples.
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observed sample, or 0 with no samples.
+func (m *Mean) Max() float64 { return m.max }
+
+// Sum returns mean multiplied by count.
+func (m *Mean) Sum() float64 { return m.mean * float64(m.n) }
+
+// Reset discards all samples.
+func (m *Mean) Reset() { *m = Mean{} }
+
+// Histogram is a fixed-width-bucket histogram over [0, BucketWidth*len).
+// Samples beyond the last bucket are clamped into an overflow bucket.
+type Histogram struct {
+	BucketWidth float64
+	buckets     []uint64
+	overflow    uint64
+	total       uint64
+	sum         float64
+}
+
+// NewHistogram returns a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if width <= 0 {
+		panic("stats: histogram bucket width must be positive")
+	}
+	return &Histogram{BucketWidth: width, buckets: make([]uint64, n)}
+}
+
+// Observe records one sample. Negative samples are clamped into the first
+// bucket; NaN and +Inf are counted in the overflow bucket.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	if math.IsNaN(x) || math.IsInf(x, 1) {
+		h.overflow++
+		return
+	}
+	h.sum += x
+	if x < 0 {
+		x = 0
+	}
+	i := int(x / h.BucketWidth)
+	if i < 0 || i >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[i]++
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean of all samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of (non-overflow) buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Overflow returns the count of samples beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Percentile returns an estimate of the p-th percentile (0 < p <= 100) using
+// the bucket midpoints. Overflow samples are treated as the upper bound.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return (float64(i) + 0.5) * h.BucketWidth
+		}
+	}
+	return float64(len(h.buckets)) * h.BucketWidth
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive values are skipped,
+// matching the convention used for normalized performance numbers.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Registry is an ordered collection of named metric values, used to assemble
+// human-readable simulation reports.
+type Registry struct {
+	order  []string
+	values map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{values: make(map[string]float64)}
+}
+
+// Set records (or overwrites) a named value, preserving first-set order.
+func (r *Registry) Set(name string, v float64) {
+	if _, ok := r.values[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.values[name] = v
+}
+
+// Get returns the value for name and whether it exists.
+func (r *Registry) Get(name string) (float64, bool) {
+	v, ok := r.values[name]
+	return v, ok
+}
+
+// Names returns the metric names in insertion order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// String formats the registry as "name=value" lines in insertion order.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, name := range r.order {
+		fmt.Fprintf(&b, "%s=%.6g\n", name, r.values[name])
+	}
+	return b.String()
+}
+
+// Sorted returns name/value pairs sorted by name, useful for stable output.
+func (r *Registry) Sorted() []struct {
+	Name  string
+	Value float64
+} {
+	names := r.Names()
+	sort.Strings(names)
+	out := make([]struct {
+		Name  string
+		Value float64
+	}, len(names))
+	for i, n := range names {
+		out[i].Name = n
+		out[i].Value = r.values[n]
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestCounterRatio(t *testing.T) {
+	var hits, total Counter
+	if r := hits.Ratio(&total); r != 0 {
+		t.Fatalf("ratio with zero denominator = %v, want 0", r)
+	}
+	hits.Add(3)
+	total.Add(4)
+	if r := hits.Ratio(&total); r != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+}
+
+func TestMeanKnownValues(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Observe(x)
+	}
+	if got := m.Value(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Sample variance of that series is 32/7.
+	if got := m.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, 32.0/7.0)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", m.Min(), m.Max())
+	}
+	if got := m.Sum(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("sum = %v, want 40", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.Variance() != 0 || m.StdDev() != 0 {
+		t.Fatal("empty mean should report zeros")
+	}
+}
+
+func TestMeanReset(t *testing.T) {
+	var m Mean
+	m.Observe(10)
+	m.Reset()
+	if m.Count() != 0 || m.Value() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+// Property: mean is always bounded by [min, max] of the observed samples.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var m Mean
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in m2.
+			if math.Abs(x) > 1e12 {
+				continue
+			}
+			m.Observe(x)
+			n++
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if n == 0 {
+			return m.Value() == 0
+		}
+		v := m.Value()
+		const eps = 1e-6
+		return v >= lo-eps*(1+math.Abs(lo)) && v <= hi+eps*(1+math.Abs(hi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(4, 10) // buckets [0,10) [10,20) [20,30) [30,40)
+	for _, x := range []float64{0, 5, 9.99, 10, 35, 100, -3} {
+		h.Observe(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Bucket(0) != 4 { // 0, 5, 9.99 and the clamped -3
+		t.Errorf("bucket0 = %d, want 4", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 {
+		t.Errorf("bucket1 = %d, want 1", h.Bucket(1))
+	}
+	if h.Bucket(3) != 1 {
+		t.Errorf("bucket3 = %d, want 1", h.Bucket(3))
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow = %d, want 1", h.Overflow())
+	}
+}
+
+func TestHistogramMeanAndPercentile(t *testing.T) {
+	h := NewHistogram(100, 1)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45 || p50 > 55 {
+		t.Errorf("p50 = %v, want ≈50", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 95 {
+		t.Errorf("p99 = %v, want ≥95", p99)
+	}
+}
+
+func TestHistogramEmptyPercentile(t *testing.T) {
+	h := NewHistogram(4, 1)
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero buckets", func() { NewHistogram(0, 1) })
+	mustPanic("zero width", func() { NewHistogram(4, 0) })
+}
+
+// Property: histogram conserves samples (buckets + overflow == total).
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(8, 2.5)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Observe(x)
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum+h.Overflow() == h.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("geomean(nil) = %v, want 0", got)
+	}
+	// Non-positive entries are skipped.
+	if got := GeoMean([]float64{0, -1, 9}); math.Abs(got-9) > 1e-12 {
+		t.Errorf("geomean with skips = %v, want 9", got)
+	}
+}
+
+func TestRegistryOrderAndOverwrite(t *testing.T) {
+	r := NewRegistry()
+	r.Set("b", 1)
+	r.Set("a", 2)
+	r.Set("b", 3) // overwrite keeps position
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v, want [b a]", names)
+	}
+	if v, ok := r.Get("b"); !ok || v != 3 {
+		t.Fatalf("get b = %v,%v, want 3,true", v, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("missing key should not be present")
+	}
+	sorted := r.Sorted()
+	if sorted[0].Name != "a" || sorted[1].Name != "b" {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	if r.String() == "" {
+		t.Fatal("string form should not be empty")
+	}
+}

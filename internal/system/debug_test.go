@@ -1,0 +1,41 @@
+package system
+
+import (
+	"os"
+	"testing"
+
+	"taglessdram/internal/config"
+	simpkg "taglessdram/internal/sim"
+)
+
+// TestDebugBreakdown prints detailed per-design diagnostics. It is not an
+// assertion test; run with -v to inspect the latency composition.
+func TestDebugBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	prog := os.Getenv("DEBUG_PROG")
+	if prog == "" {
+		prog = "sphinx3"
+	}
+	for _, d := range config.AllDesigns() {
+		cfg := scaledConfig(d, 6)
+		w, _ := SingleProgram(prog, 6, 1)
+		m, err := New(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run(3000000, 3000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-6v IPC=%.3f devL3=%.1f handler(mean=%.0f n=%d) L3acc=%d hit=%.3f rowhit(in=%.2f off=%.2f) busutil(in=%.2f off=%.2f) tlbmiss=%.4f",
+			d, r.IPC, m.l3Lat.Value(), m.handlerLat.Value(), m.handlerLat.Count(),
+			r.L3Accesses, r.L3HitRate, r.InPkgRowHitRate, r.OffPkgRowHitRate,
+			m.inPkg.BusUtilization(simpkg.Tick(r.Cycles)), m.offPkg.BusUtilization(simpkg.Tick(r.Cycles)),
+			r.TLBMissRate)
+		if d == config.Tagless {
+			t.Logf("   ctrl: %+v", r.Ctrl)
+		}
+	}
+}

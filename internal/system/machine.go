@@ -1,0 +1,331 @@
+package system
+
+import (
+	"fmt"
+
+	"taglessdram/internal/cache"
+	"taglessdram/internal/config"
+	"taglessdram/internal/core"
+	"taglessdram/internal/cpu"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/dramcache"
+	"taglessdram/internal/mmu"
+	"taglessdram/internal/sim"
+	"taglessdram/internal/stats"
+	"taglessdram/internal/tlb"
+	"taglessdram/internal/trace"
+)
+
+// paBit distinguishes physically-addressed lines from cache-addressed lines
+// in the on-die caches of the tagless design (non-cacheable pages keep
+// physical addresses; Section 3.2).
+const paBit = uint64(1) << 62
+
+// spKeyBit marks TLB keys that name a superpage region rather than a base
+// page, keeping the two namespaces disjoint.
+const spKeyBit = uint64(1) << 61
+
+// coreCtx bundles one core's private hardware and its workload stream.
+type coreCtx struct {
+	id     int
+	cpu    *cpu.Core
+	tlbs   *tlb.Hierarchy
+	l1     *cache.Cache
+	l2     *cache.Cache
+	gen    trace.Source
+	pt     *mmu.PageTable
+	active bool
+	done   bool
+
+	// hotCount tracks per-page access counts for the online hot-page
+	// filter (CHOP-style); nil unless the filter is enabled.
+	hotCount map[uint64]uint32
+
+	// pteCache models the MMU's translation-cache for leaf PTE lines
+	// (memory-walk model only).
+	pteCache *cache.Cache
+
+	startCycle sim.Tick
+	startInstr uint64
+}
+
+// Machine is one simulated system: cores, TLBs, on-die caches, the chosen
+// DRAM-cache organization and both DRAM devices.
+type Machine struct {
+	cfg      *config.SystemConfig
+	workload Workload
+	kernel   *sim.Kernel
+	inPkg    *dram.Device
+	offPkg   *dram.Device
+	cores    []*coreCtx
+	alloc    *mmu.FrameAllocator
+
+	// Design-specific state (at most one is non-nil).
+	sram  *dramcache.PageCache
+	inter *dramcache.BankInterleaver
+	ctrl  *core.Controller
+	alloy *dramcache.BlockCache
+
+	cachePages   uint64
+	spPages      uint64            // superpage region size in pages (1 = disabled)
+	sharedFrames map[uint64]uint64 // shared VPN → PPN (inter-process pages)
+	offRatio     uint64            // off-package/in-package capacity ratio (BI stride)
+	giptBase     uint64            // off-package byte address of the GIPT region
+	giptRegion   uint64
+	giptCursor   uint64
+	ncThreshold  int
+
+	// Measurement state.
+	measuring  bool
+	l3Lat      stats.Mean    // device-side latency of L3 accesses
+	handlerLat stats.Mean    // TLB-miss handler latency (amortized into Fig. 8)
+	kindLat    [4]stats.Mean // handler latency by core.MissKind (Table 1)
+	l3Accesses stats.Counter
+	l3Hits     stats.Counter
+	tlbLookups stats.Counter
+	tlbMisses  stats.Counter
+	ncAccesses stats.Counter
+	ctrlStart  core.Stats
+}
+
+// New builds a machine for the configuration and workload.
+func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if !w.MultiThreaded && len(w.PerCore) > cfg.CPU.Cores {
+		return nil, fmt.Errorf("system: workload %s has %d programs for %d cores",
+			w.Name, len(w.PerCore), cfg.CPU.Cores)
+	}
+
+	m := &Machine{
+		cfg:          cfg,
+		workload:     w,
+		kernel:       sim.NewKernel(),
+		inPkg:        dram.New("in-pkg", cfg.InPkg, cfg.CPU.FreqGHz),
+		offPkg:       dram.New("off-pkg", cfg.OffPkg, cfg.CPU.FreqGHz),
+		cachePages:   uint64(cfg.CachePages()),
+		sharedFrames: make(map[uint64]uint64),
+		ncThreshold:  cfg.Tagless.NCAccessThreshold,
+	}
+	m.offRatio = uint64(cfg.OffPkg.SizeBytes / cfg.InPkg.SizeBytes)
+	if m.offRatio < 1 {
+		m.offRatio = 1
+	}
+	// Reserve the top sixteenth of off-package DRAM for page tables and
+	// the GIPT, so handler traffic does not alias application rows.
+	m.giptRegion = uint64(cfg.OffPkg.SizeBytes) / 16
+	m.giptBase = uint64(cfg.OffPkg.SizeBytes) - m.giptRegion
+	frames := m.giptBase / config.PageSize
+	m.alloc = mmu.NewFrameAllocator(frames)
+
+	// Address spaces and trace streams.
+	var pts []*mmu.PageTable
+	var gens []trace.Source
+	nactive := len(w.PerCore)
+	switch {
+	case len(w.Sources) > 0:
+		nactive = len(w.Sources)
+		if nactive > cfg.CPU.Cores {
+			return nil, fmt.Errorf("system: workload %s has %d sources for %d cores",
+				w.Name, nactive, cfg.CPU.Cores)
+		}
+		for i, s := range w.Sources {
+			pts = append(pts, mmu.NewPageTable(i, m.alloc))
+			gens = append(gens, s)
+		}
+	case w.MultiThreaded:
+		nactive = cfg.CPU.Cores
+		pt := mmu.NewPageTable(0, m.alloc)
+		group, err := trace.NewThreadGroup(w.PerCore[0], nactive, w.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nactive; i++ {
+			pts = append(pts, pt)
+			gens = append(gens, group[i])
+		}
+	default:
+		for i, p := range w.PerCore {
+			pts = append(pts, mmu.NewPageTable(i, m.alloc))
+			group, err := trace.NewThreadGroup(p, 1, w.Seed+uint64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			gens = append(gens, group[0])
+		}
+	}
+
+	// Per-core hardware.
+	for i := 0; i < cfg.CPU.Cores; i++ {
+		cc := &coreCtx{
+			id:   i,
+			cpu:  cpu.New(i, cfg.CPU.IssueWidth, cfg.CPU.MSHRs),
+			tlbs: tlb.NewHierarchy(cfg.L1TLB, cfg.L2TLB),
+			l1:   cache.New(cfg.L1D),
+			l2:   cache.New(cfg.L2),
+		}
+		if i < nactive {
+			cc.gen = gens[i]
+			cc.pt = pts[i]
+			cc.active = true
+			if cfg.Design == config.Tagless && cfg.Tagless.HotFilterThreshold > 0 {
+				cc.hotCount = make(map[uint64]uint32)
+			}
+			if cfg.MemoryWalk {
+				// A 4KB, 8-way PTE cache: 64 lines of 8 PTEs each.
+				cc.pteCache = cache.New(config.CacheConfig{
+					SizeBytes: 4 * config.KB, Ways: 8, LineBytes: config.BlockSize, LatencyCycle: 2,
+				})
+			}
+		}
+		m.cores = append(m.cores, cc)
+	}
+
+	// Organization-specific wiring.
+	switch cfg.Design {
+	case config.NoL3:
+		// Nothing to build.
+	case config.BankInterleave:
+		m.inter = dramcache.NewBankInterleaver(m.cachePages, m.cachePages*m.offRatio)
+	case config.SRAMTag:
+		tag := config.TagParamsFor(cfg.CacheSize)
+		m.sram = dramcache.NewPageCache(int(m.cachePages), cfg.SRAMTag.Ways, tag.LatencyCyc)
+	case config.Tagless:
+		m.spPages = 1
+		if sp := cfg.Tagless.SuperpagePages; sp > 1 {
+			m.spPages = uint64(sp)
+		}
+		m.ctrl = core.NewController(core.Config{
+			Blocks:              int(m.cachePages / m.spPages),
+			RegionPages:         int(m.spPages),
+			Alpha:               cfg.Tagless.Alpha,
+			Policy:              cfg.Tagless.Policy,
+			WalkCycles:          cfg.PageWalkCycles,
+			SynchronousEviction: cfg.Tagless.SynchronousEviction,
+			CachedGIPT:          cfg.Tagless.CachedGIPT,
+			SharedAliasTable:    cfg.Tagless.SharedAliasTable,
+		}, (*memOps)(m), m.kernel)
+		if cfg.MemoryWalk {
+			m.ctrl.SetWalkFunc(m.memoryWalk)
+		}
+		m.ctrl.EvictHook = m.onPageEvicted
+		m.ctrl.ShootdownHook = m.onShootdown
+		for _, cc := range m.cores {
+			cc := cc
+			cc.tlbs.OnEvict = func(vpn uint64, e tlb.Entry) {
+				m.ctrl.NoteTLBEviction(cc.id, e)
+			}
+		}
+	case config.Ideal:
+		// Nothing to build: every access is an in-package block access.
+	case config.AlloyBlock:
+		m.alloy = dramcache.NewBlockCache(cfg.CacheSize)
+	default:
+		return nil, fmt.Errorf("system: unknown design %v", cfg.Design)
+	}
+	return m, nil
+}
+
+// onPageEvicted flushes CA-tagged on-die lines of a region leaving the
+// tagless cache, so the reallocated cache address cannot alias stale data.
+func (m *Machine) onPageEvicted(at sim.Tick, ca, ppn uint64, dirty bool) {
+	bytes := m.spPages * config.PageSize
+	base := ca * bytes
+	for _, cc := range m.cores {
+		cc.l1.InvalidateRange(base, int(bytes))
+		cc.l2.InvalidateRange(base, int(bytes))
+	}
+}
+
+// memoryWalk models a four-level page-table walk as memory traffic: the
+// three upper levels hit the MMU's page-walk caches (2 cycles each), and
+// the leaf PTE read hits the per-core PTE cache or goes to off-package
+// DRAM in the reserved page-table region.
+func (m *Machine) memoryWalk(at sim.Tick, coreID int, vpn uint64) sim.Tick {
+	const upperLevels = 3 * 2
+	done := at + upperLevels
+	cc := m.cores[coreID]
+	if cc.pteCache == nil {
+		return done + sim.Tick(m.cfg.PageWalkCycles)
+	}
+	pteAddr := m.giptBase + m.giptRegion/2 + (vpn*8)%(m.giptRegion/2)
+	if hit, _, _ := cc.pteCache.Access(pteAddr, false); hit {
+		return done + sim.Tick(cc.pteCache.Latency())
+	}
+	r := m.offPkg.Access(done, pteAddr&^uint64(config.BlockSize-1), config.BlockSize, dram.Read)
+	return r.Done
+}
+
+// sharedFrame returns the machine-wide physical frame backing a shared
+// virtual page, allocating it on first use.
+func (m *Machine) sharedFrame(vpn uint64) (uint64, error) {
+	if ppn, ok := m.sharedFrames[vpn]; ok {
+		return ppn, nil
+	}
+	ppn, err := m.alloc.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	m.sharedFrames[vpn] = ppn
+	return ppn, nil
+}
+
+// onShootdown invalidates a page (or superpage region) from every TLB that
+// still references it, allowing a resident block to be evicted under
+// extreme pressure.
+func (m *Machine) onShootdown(ca, vpn uint64, residence uint64) {
+	key := vpn
+	if m.spPages > 1 {
+		key = spKeyBit | vpn/m.spPages
+	}
+	for _, cc := range m.cores {
+		if residence&(1<<uint(cc.id)) != 0 {
+			cc.tlbs.Invalidate(key)
+		}
+	}
+}
+
+// memOps implements core.MemOps against the machine's DRAM devices.
+type memOps Machine
+
+// FillPage performs a critical-block-first fill of `pages` pages: the
+// faulting block is read first and unblocks the requester; the rest of the
+// region streams off-package and is written into the cache behind it,
+// occupying both devices' banks and buses (over-fetching costs bandwidth,
+// not stall).
+func (m *memOps) FillPage(at sim.Tick, ppn, ca, offset uint64, pages int) sim.Tick {
+	bytes := pages * config.PageSize
+	base := ppn * config.PageSize
+	blockOff := offset &^ (config.BlockSize - 1)
+	crit := m.offPkg.Access(at, base+blockOff, config.BlockSize, dram.Read)
+	if rest := bytes - config.BlockSize; rest > 0 {
+		// Remainder of the region streams behind the critical block.
+		m.offPkg.Access(crit.Done, base, rest, dram.Read)
+	}
+	m.inPkg.Access(crit.Done, ca*uint64(bytes), bytes, dram.Write)
+	return crit.Done
+}
+
+// EvictPage: in-package region read then off-package write-back.
+func (m *memOps) EvictPage(at sim.Tick, ca, ppn uint64, pages int) sim.Tick {
+	bytes := pages * config.PageSize
+	r := m.inPkg.Access(at, ca*uint64(bytes), bytes, dram.Read)
+	w := m.offPkg.Access(r.Done, ppn*config.PageSize, bytes, dram.Write)
+	return w.Done
+}
+
+// GIPTUpdate charges the paper's conservative cost of two full off-package
+// writes (Section 3.4). The writes are short, high-priority metadata that a
+// real controller schedules ahead of the streaming fill, so they are
+// modeled as fixed closed-bank write latency with energy and traffic
+// accounted on the device but no bus queueing.
+func (m *memOps) GIPTUpdate(at sim.Tick) sim.Tick {
+	m.giptCursor++
+	lat := 2 * m.offPkg.ColdWriteLatency(config.BlockSize)
+	m.offPkg.AccountTraffic(2*config.BlockSize, dram.Write)
+	return at + lat
+}

@@ -1,0 +1,182 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/core"
+	"taglessdram/internal/energy"
+	"taglessdram/internal/sim"
+	"taglessdram/internal/stats"
+)
+
+// Result summarizes one measured run.
+type Result struct {
+	Workload string
+	Design   config.L3Design
+
+	Cycles       uint64 // measured cycles (longest active core)
+	Instructions uint64 // measured instructions across active cores
+	IPC          float64
+	PerCoreIPC   []float64
+
+	// AvgL3Latency is the Figure 8 metric: device-side L3 latency plus
+	// TLB-miss handler time, amortized over L3 accesses, in cycles.
+	AvgL3Latency float64
+	L3Accesses   uint64
+	L3Hits       uint64
+	L3HitRate    float64
+
+	TLBLookups  uint64
+	TLBMisses   uint64
+	TLBMissRate float64
+	NCAccesses  uint64
+
+	Energy  energy.Breakdown
+	EDPJs   float64 // energy-delay product in joule-seconds
+	Seconds float64
+
+	InPkgRowHitRate  float64
+	OffPkgRowHitRate float64
+	InPkgBytes       uint64
+	OffPkgBytes      uint64
+
+	// Ctrl carries tagless-controller counters (zero for other designs).
+	Ctrl core.Stats
+	// MissKindMean/Count give the cTLB miss-handler latency per outcome,
+	// indexed by core.MissKind (Table 1's four cases; tagless only).
+	MissKindMean  [4]float64
+	MissKindCount [4]uint64
+	// SRAMHitRate is the page-cache hit rate (SRAM-tag design only).
+	SRAMHitRate float64
+}
+
+// collect assembles the Result after the measured phase.
+func (m *Machine) collect() *Result {
+	r := &Result{
+		Workload: m.workload.Name,
+		Design:   m.cfg.Design,
+	}
+	var maxCycles sim.Tick
+	for _, cc := range m.cores {
+		if !cc.active {
+			continue
+		}
+		cycles := cc.cpu.Now() - cc.startCycle
+		instr := cc.cpu.Instructions - cc.startInstr
+		r.Instructions += instr
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+		ipc := 0.0
+		if cycles > 0 {
+			ipc = float64(instr) / float64(cycles)
+		}
+		r.PerCoreIPC = append(r.PerCoreIPC, ipc)
+	}
+	r.Cycles = uint64(maxCycles)
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+
+	r.L3Accesses = m.l3Accesses.Value()
+	r.L3Hits = m.l3Hits.Value()
+	if r.L3Accesses > 0 {
+		r.L3HitRate = float64(r.L3Hits) / float64(r.L3Accesses)
+		r.AvgL3Latency = (m.l3Lat.Sum() + m.handlerLat.Sum()) / float64(r.L3Accesses)
+	}
+	r.TLBLookups = m.tlbLookups.Value()
+	r.TLBMisses = m.tlbMisses.Value()
+	if r.TLBLookups > 0 {
+		r.TLBMissRate = float64(r.TLBMisses) / float64(r.TLBLookups)
+	}
+	r.NCAccesses = m.ncAccesses.Value()
+
+	var tagPJ float64
+	if m.sram != nil {
+		tagPJ = m.sram.TagEnergyPJ()
+		r.SRAMHitRate = m.sram.HitRate()
+	}
+	if m.ctrl != nil {
+		s := m.ctrl.Stats()
+		r.Ctrl = core.Stats{
+			Walks:         s.Walks - m.ctrlStart.Walks,
+			NonCacheable:  s.NonCacheable - m.ctrlStart.NonCacheable,
+			VictimHits:    s.VictimHits - m.ctrlStart.VictimHits,
+			ColdFills:     s.ColdFills - m.ctrlStart.ColdFills,
+			PendingWaits:  s.PendingWaits - m.ctrlStart.PendingWaits,
+			AliasHits:     s.AliasHits - m.ctrlStart.AliasHits,
+			Rescues:       s.Rescues - m.ctrlStart.Rescues,
+			Evictions:     s.Evictions - m.ctrlStart.Evictions,
+			Writebacks:    s.Writebacks - m.ctrlStart.Writebacks,
+			SyncEvictions: s.SyncEvictions - m.ctrlStart.SyncEvictions,
+			Shootdowns:    s.Shootdowns - m.ctrlStart.Shootdowns,
+		}
+	}
+
+	for i := range m.kindLat {
+		r.MissKindMean[i] = m.kindLat[i].Value()
+		r.MissKindCount[i] = m.kindLat[i].Count()
+	}
+
+	activeCores := 0
+	for _, cc := range m.cores {
+		if cc.active {
+			activeCores++
+		}
+	}
+	em := energy.Model{
+		Cores:          activeCores,
+		CorePowerWatts: m.cfg.CorePowerWatts,
+		FreqGHz:        m.cfg.CPU.FreqGHz,
+	}
+	r.Energy = em.Account(r.Cycles, m.inPkg.EnergyPJ(), m.offPkg.EnergyPJ(), tagPJ)
+	r.EDPJs = energy.EDP(r.Energy.TotalJ(), r.Cycles, m.cfg.CPU.FreqGHz)
+	r.Seconds = float64(r.Cycles) / (m.cfg.CPU.FreqGHz * 1e9)
+
+	r.InPkgRowHitRate = m.inPkg.RowHitRate()
+	r.OffPkgRowHitRate = m.offPkg.RowHitRate()
+	r.InPkgBytes = m.inPkg.BytesTransferred()
+	r.OffPkgBytes = m.offPkg.BytesTransferred()
+	return r
+}
+
+// Metrics flattens the result into a named-metric registry, convenient for
+// diffing runs or exporting to monitoring formats.
+func (r *Result) Metrics() *stats.Registry {
+	reg := stats.NewRegistry()
+	reg.Set("ipc", r.IPC)
+	reg.Set("cycles", float64(r.Cycles))
+	reg.Set("instructions", float64(r.Instructions))
+	reg.Set("l3.accesses", float64(r.L3Accesses))
+	reg.Set("l3.hit_rate", r.L3HitRate)
+	reg.Set("l3.avg_latency_cycles", r.AvgL3Latency)
+	reg.Set("tlb.miss_rate", r.TLBMissRate)
+	reg.Set("nc.accesses", float64(r.NCAccesses))
+	reg.Set("energy.total_j", r.Energy.TotalJ())
+	reg.Set("energy.core_j", r.Energy.CoreJ)
+	reg.Set("energy.inpkg_j", r.Energy.InPkgJ)
+	reg.Set("energy.offpkg_j", r.Energy.OffPkgJ)
+	reg.Set("energy.tag_j", r.Energy.TagJ)
+	reg.Set("edp_js", r.EDPJs)
+	reg.Set("dram.inpkg_row_hit", r.InPkgRowHitRate)
+	reg.Set("dram.offpkg_row_hit", r.OffPkgRowHitRate)
+	reg.Set("dram.inpkg_bytes", float64(r.InPkgBytes))
+	reg.Set("dram.offpkg_bytes", float64(r.OffPkgBytes))
+	reg.Set("ctrl.victim_hits", float64(r.Ctrl.VictimHits))
+	reg.Set("ctrl.cold_fills", float64(r.Ctrl.ColdFills))
+	reg.Set("ctrl.evictions", float64(r.Ctrl.Evictions))
+	reg.Set("ctrl.writebacks", float64(r.Ctrl.Writebacks))
+	reg.Set("ctrl.alias_hits", float64(r.Ctrl.AliasHits))
+	return reg
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: IPC=%.3f L3hit=%.1f%% L3lat=%.1fcyc TLBmiss=%.2f%% E=%.3gJ EDP=%.3gJs",
+		r.Workload, r.Design, r.IPC, r.L3HitRate*100, r.AvgL3Latency,
+		r.TLBMissRate*100, r.Energy.TotalJ(), r.EDPJs)
+	return b.String()
+}

@@ -1,0 +1,436 @@
+package system
+
+import (
+	"fmt"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/dramcache"
+	"taglessdram/internal/sim"
+	"taglessdram/internal/tlb"
+	"taglessdram/internal/trace"
+)
+
+// Run executes the workload: every active core retires `warmup`
+// instructions to populate caches and TLBs, statistics reset, and the
+// measured phase runs for `measure` instructions per core.
+func (m *Machine) Run(warmup, measure uint64) (*Result, error) {
+	if measure == 0 {
+		return nil, fmt.Errorf("system: measure phase must be positive")
+	}
+	if err := m.runPhase(warmup); err != nil {
+		return nil, err
+	}
+	m.beginMeasurement()
+	if err := m.runPhase(warmup + measure); err != nil {
+		return nil, err
+	}
+	// Let in-flight accesses and background evictions finish.
+	for _, cc := range m.cores {
+		cc.cpu.Drain()
+	}
+	m.kernel.Run(0)
+	return m.collect(), nil
+}
+
+// runPhase advances every active core until it has retired `target`
+// instructions, interleaving cores in simulated-time order.
+func (m *Machine) runPhase(target uint64) error {
+	for {
+		var next *coreCtx
+		for _, cc := range m.cores {
+			if !cc.active || cc.cpu.Instructions >= target {
+				continue
+			}
+			if next == nil || cc.cpu.Now() < next.cpu.Now() {
+				next = cc
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		if err := m.step(next); err != nil {
+			return err
+		}
+	}
+}
+
+// beginMeasurement resets all statistics at the warmup/measure boundary,
+// keeping microarchitectural state (cache contents, TLBs, row buffers).
+func (m *Machine) beginMeasurement() {
+	m.measuring = true
+	m.inPkg.ResetStats()
+	m.offPkg.ResetStats()
+	for _, cc := range m.cores {
+		cc.l1.ResetStats()
+		cc.l2.ResetStats()
+		cc.tlbs.L1.ResetStats()
+		cc.tlbs.L2.ResetStats()
+		cc.startCycle = cc.cpu.Now()
+		cc.startInstr = cc.cpu.Instructions
+	}
+	m.l3Lat.Reset()
+	m.handlerLat.Reset()
+	for i := range m.kindLat {
+		m.kindLat[i].Reset()
+	}
+	m.l3Accesses.Reset()
+	m.l3Hits.Reset()
+	m.tlbLookups.Reset()
+	m.tlbMisses.Reset()
+	m.ncAccesses.Reset()
+	if m.ctrl != nil {
+		m.ctrlStart = m.ctrl.Stats()
+	}
+	if m.sram != nil {
+		m.sram.ResetStats()
+	}
+	if m.alloy != nil {
+		m.alloy.ResetStats()
+	}
+}
+
+// step processes one trace reference on one core.
+func (m *Machine) step(cc *coreCtx) error {
+	a := cc.gen.Next()
+	cc.cpu.Retire(a.Gap + 1)
+	m.kernel.Advance(cc.cpu.Now())
+	vpn := a.VAddr >> 12
+	write := a.Write
+
+	// Inter-process shared pages (Section 3.5): map the common frame on
+	// first touch. Without the alias table, the tagless design marks them
+	// non-cacheable to avoid aliasing; PA-indexed designs share naturally.
+	if a.Shared {
+		if _, ok := cc.pt.Lookup(vpn); !ok {
+			ppn, err := m.sharedFrame(vpn)
+			if err != nil {
+				return err
+			}
+			pte, err := cc.pt.MapShared(vpn, ppn)
+			if err != nil {
+				return err
+			}
+			if m.ctrl != nil && !m.cfg.Tagless.SharedAliasTable {
+				pte.NC = true
+			}
+		}
+	}
+
+	// Online hot-page filter (CHOP-style, cited as complementary): pages
+	// start non-cacheable and earn cacheability after enough accesses.
+	if cc.hotCount != nil && !a.Shared {
+		n := cc.hotCount[vpn] + 1
+		cc.hotCount[vpn] = n
+		if n == 1 {
+			if pte, err := cc.pt.Walk(vpn); err == nil && !pte.VC {
+				pte.NC = true
+			}
+		} else if n == uint32(m.cfg.Tagless.HotFilterThreshold) {
+			if pte, ok := cc.pt.Lookup(vpn); ok && pte.NC && !pte.VC {
+				pte.NC = false
+				// Shoot down the stale NC translation so the next miss
+				// fills the now-hot page into the cache.
+				cc.tlbs.Invalidate(vpn)
+			}
+		}
+	}
+
+	// In superpage mode the OS marks low-reuse (singleton) pages
+	// non-cacheable unconditionally: caching them would over-fetch a
+	// whole region for one block ("it would be safe to specify
+	// superpages as non-cacheable", Section 3.5).
+	if m.ctrl != nil && m.spPages > 1 && a.LowReuse {
+		if pte, ok := cc.pt.Lookup(vpn); !ok || (!pte.VC && !pte.NC) {
+			_ = cc.pt.SetNonCacheable(vpn)
+		}
+	}
+
+	// Offline-profile non-cacheable classification (Section 5.4).
+	if m.ctrl != nil && m.ncThreshold > 0 && a.LowReuse {
+		if pte, ok := cc.pt.Lookup(vpn); !ok || (!pte.VC && !pte.NC) {
+			// Best effort; a cached page stays cached.
+			_ = cc.pt.SetNonCacheable(vpn)
+		}
+	}
+
+	// 1. Address translation. In superpage mode, cacheable application
+	// pages translate at region granularity: one cTLB entry per region.
+	lookupKey := vpn
+	superKey := false
+	if m.spPages > 1 && vpn < trace.SingletonBase {
+		if pte, ok := cc.pt.Lookup(vpn); !ok || pte.Super {
+			lookupKey = spKeyBit | vpn/m.spPages
+			superKey = true
+		}
+	}
+	entry, lvl := cc.tlbs.Lookup(lookupKey)
+	m.tlbLookups.Inc()
+	if lvl == tlb.MissAll {
+		m.tlbMisses.Inc()
+		start := cc.cpu.Now()
+		var done sim.Tick
+		if m.ctrl != nil {
+			regionOff := a.VAddr & (config.PageSize - 1)
+			if superKey {
+				regionOff = (vpn%m.spPages)*config.PageSize + regionOff
+			}
+			e, d, kind, err := m.ctrl.HandleTLBMiss(start, cc.id, cc.pt, vpn, regionOff)
+			if err != nil {
+				return fmt.Errorf("system: core %d vpn %d: %w", cc.id, vpn, err)
+			}
+			entry, done = e, d
+			// A superpage candidate resolved to a 4KB NC mapping keys at
+			// 4KB granularity.
+			if superKey && e.NC {
+				lookupKey, superKey = vpn, false
+			}
+			if m.measuring {
+				m.kindLat[kind].Observe(float64(d - start))
+			}
+		} else {
+			pte, err := cc.pt.Walk(vpn)
+			if err != nil {
+				return fmt.Errorf("system: core %d vpn %d: %w", cc.id, vpn, err)
+			}
+			entry = tlb.Entry{Frame: pte.Frame}
+			if m.cfg.MemoryWalk {
+				done = m.memoryWalk(start, cc.id, vpn)
+			} else {
+				done = start + sim.Tick(m.cfg.PageWalkCycles)
+			}
+		}
+		cc.tlbs.Insert(lookupKey, entry)
+		cc.cpu.Block(done)
+		if m.measuring {
+			m.handlerLat.Observe(float64(done - start))
+		}
+	}
+
+	// 2. On-die cache key: cache addresses for cached pages in the
+	// tagless design, physical addresses otherwise.
+	offset := a.VAddr & (config.PageSize - 1)
+	var key uint64
+	switch {
+	case m.ctrl != nil && !entry.NC && superKey:
+		// Superpage region: Frame is the region CA.
+		regionBytes := m.spPages * config.PageSize
+		key = entry.Frame*regionBytes + (vpn%m.spPages)*config.PageSize + offset
+	case m.ctrl != nil && !entry.NC:
+		key = entry.Frame*config.PageSize + offset // CA space
+	case m.ctrl != nil:
+		key = paBit | (entry.Frame*config.PageSize + offset)
+		m.ncAccesses.Inc()
+	default:
+		key = entry.Frame*config.PageSize + offset // PA space
+	}
+
+	// 3. On-die caches (latency hidden by the out-of-order window).
+	if hit, victim, hasVictim := cc.l1.Access(key, write); hit {
+		return nil
+	} else if hasVictim && victim.Dirty {
+		// L1 write-back sinks into L2 (or memory when absent).
+		if !cc.l2.MarkDirty(victim.Addr) {
+			m.writebackBlock(cc, victim.Addr)
+		}
+	}
+	if hit, victim, hasVictim := cc.l2.Access(key, write); hit {
+		return nil
+	} else if hasVictim && victim.Dirty {
+		m.writebackBlock(cc, victim.Addr)
+	}
+
+	// 4. The L3 / memory access.
+	m.l3Access(cc, entry, key, offset, write, a.Dependent)
+	return nil
+}
+
+// issueBlock runs one block-granularity memory access: dependent loads
+// serialize (their latency is exposed on the dependence chain), independent
+// ones overlap through the MSHR window.
+func (m *Machine) issueBlock(cc *coreCtx, dep, hit bool, access func(at sim.Tick) sim.Tick) {
+	var at sim.Tick
+	if dep {
+		at = cc.cpu.Now()
+	} else {
+		at = cc.cpu.ReserveMSHR()
+	}
+	done := access(at)
+	if dep {
+		cc.cpu.Serialize(done)
+	} else {
+		cc.cpu.CompleteMSHR(done)
+	}
+	m.observeL3(done-at, hit)
+}
+
+// kindOf maps a store/load to the DRAM access kind.
+func kindOf(write bool) dram.AccessKind {
+	if write {
+		return dram.Write
+	}
+	return dram.Read
+}
+
+// l3Access performs the design-specific memory access for an L2 miss.
+func (m *Machine) l3Access(cc *coreCtx, entry tlb.Entry, key, offset uint64, write, dep bool) {
+	if m.measuring {
+		m.l3Accesses.Inc()
+	}
+	kind := kindOf(write)
+	switch m.cfg.Design {
+	case config.NoL3:
+		m.issueBlock(cc, dep, false, func(at sim.Tick) sim.Tick {
+			return m.offPkg.Access(at, key, config.BlockSize, kind).Done
+		})
+
+	case config.BankInterleave:
+		devPage, inPkg := m.inter.Map(entry.Frame)
+		m.issueBlock(cc, dep, inPkg, func(at sim.Tick) sim.Tick {
+			var r dram.Result
+			if inPkg {
+				r = m.inPkg.Access(at, devPage*config.PageSize+offset, config.BlockSize, kind)
+			} else {
+				r = m.offPkg.Access(at, devPage*config.PageSize+offset, config.BlockSize, kind)
+			}
+			return r.Done
+		})
+
+	case config.SRAMTag:
+		m.sramAccess(cc, entry.Frame, offset, write, dep)
+
+	case config.Tagless:
+		if entry.NC {
+			// Non-cacheable page: off-package block access (Table 1).
+			m.issueBlock(cc, dep, false, func(at sim.Tick) sim.Tick {
+				return m.offPkg.Access(at, key&^paBit, config.BlockSize, kind).Done
+			})
+			return
+		}
+		// cTLB hit guarantees a cache hit: bare in-package block access.
+		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
+			m.ctrl.Touch(at, key/(m.spPages*config.PageSize), write)
+			return m.inPkg.Access(at, key, config.BlockSize, kind).Done
+		})
+
+	case config.Ideal:
+		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
+			return m.inPkg.Access(at, key%uint64(m.cfg.CacheSize), config.BlockSize, kind).Done
+		})
+
+	case config.AlloyBlock:
+		m.alloyAccess(cc, key, write, dep)
+	}
+}
+
+// alloyAccess is the block-based cache's path: one in-package TAD read
+// serves tag check and data together; a miss adds a serial off-package
+// block fetch (the Alloy SERIAL organization, no hit predictor) and a
+// background TAD fill plus any dirty-victim write-back.
+func (m *Machine) alloyAccess(cc *coreCtx, key uint64, write, dep bool) {
+	kind := kindOf(write)
+	slot, hit := m.alloy.Lookup(key, write)
+	tad := m.alloy.TADAddr(slot)
+	if hit {
+		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
+			return m.inPkg.Access(at, tad, dramcache.TADBytes, kind).Done
+		})
+		return
+	}
+	_, victim, hasVictim := m.alloy.Fill(key, write)
+	m.issueBlock(cc, dep, false, func(at sim.Tick) sim.Tick {
+		r := m.inPkg.Access(at, tad, dramcache.TADBytes, dram.Read) // tag probe
+		off := m.offPkg.Access(r.Done, key, config.BlockSize, dram.Read)
+		// Fill and write-back stream in the background.
+		m.inPkg.Access(off.Done, tad, dramcache.TADBytes, dram.Write)
+		if hasVictim && victim.Dirty {
+			m.offPkg.Access(off.Done, victim.BlockAddr, config.BlockSize, dram.Write)
+		}
+		return off.Done
+	})
+}
+
+// sramAccess is the SRAM-tag cache's access path: tag check on every
+// access, in-package block on a hit, serializing page fill on a miss.
+func (m *Machine) sramAccess(cc *coreCtx, ppn, offset uint64, write, dep bool) {
+	kind := kindOf(write)
+	tagCycles := sim.Tick(m.sram.TagLatency())
+	if slot, hit := m.sram.Lookup(ppn, write); hit {
+		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
+			return m.inPkg.Access(at+tagCycles, slot*config.PageSize+offset, config.BlockSize, kind).Done
+		})
+		return
+	}
+	// Miss: fetch the page from off-package DRAM, critical block first —
+	// the requester resumes when its block arrives (Equation 3's
+	// MissRate_L3 × PageAccessTime term) and the rest of the page
+	// streams in behind, consuming bandwidth.
+	at := cc.cpu.Now()
+	slot, victim, hasVictim := m.sram.Fill(ppn, write)
+	fillStart := at + tagCycles
+	if hasVictim && victim.Dirty {
+		// Victim write-back happens in the background.
+		rv := m.inPkg.Access(fillStart, victim.Slot*config.PageSize, config.PageSize, dram.Read)
+		m.offPkg.Access(rv.Done, victim.PPN*config.PageSize, config.PageSize, dram.Write)
+	}
+	base := ppn * config.PageSize
+	blockOff := offset &^ (config.BlockSize - 1)
+	crit := m.offPkg.Access(fillStart, base+blockOff, config.BlockSize, dram.Read)
+	m.offPkg.Access(crit.Done, base, config.PageSize-config.BlockSize, dram.Read)
+	m.inPkg.Access(crit.Done, slot*config.PageSize, config.PageSize, dram.Write)
+	cc.cpu.Serialize(crit.Done)
+	m.observeL3(crit.Done-at, false)
+}
+
+// observeL3 records one L3 access's device-side latency and hit/miss.
+func (m *Machine) observeL3(lat sim.Tick, hit bool) {
+	if !m.measuring {
+		return
+	}
+	m.l3Lat.Observe(float64(lat))
+	if hit {
+		m.l3Hits.Inc()
+	}
+}
+
+// writebackBlock sinks a dirty on-die victim line into the level below,
+// off the core's critical path (device traffic only).
+func (m *Machine) writebackBlock(cc *coreCtx, key uint64) {
+	at := cc.cpu.Now()
+	switch m.cfg.Design {
+	case config.NoL3:
+		m.offPkg.Access(at, key, config.BlockSize, dram.Write)
+	case config.BankInterleave:
+		devPage, inPkg := m.inter.Map(key / config.PageSize)
+		addr := devPage*config.PageSize + key%config.PageSize
+		if inPkg {
+			m.inPkg.Access(at, addr, config.BlockSize, dram.Write)
+		} else {
+			m.offPkg.Access(at, addr, config.BlockSize, dram.Write)
+		}
+	case config.SRAMTag:
+		ppn := key / config.PageSize
+		if slot, ok := m.sram.Peek(ppn); ok {
+			m.sram.MarkDirty(ppn)
+			m.inPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
+		} else {
+			m.offPkg.Access(at, key, config.BlockSize, dram.Write)
+		}
+	case config.Tagless:
+		if key&paBit != 0 {
+			m.offPkg.Access(at, key&^paBit, config.BlockSize, dram.Write)
+			return
+		}
+		m.inPkg.Access(at, key, config.BlockSize, dram.Write)
+		m.ctrl.Touch(at, key/(m.spPages*config.PageSize), true)
+	case config.Ideal:
+		m.inPkg.Access(at, key%uint64(m.cfg.CacheSize), config.BlockSize, dram.Write)
+	case config.AlloyBlock:
+		if m.alloy.MarkDirty(key) {
+			slot, _ := m.alloy.Lookup(key, true)
+			m.inPkg.Access(at, m.alloy.TADAddr(slot), config.BlockSize, dram.Write)
+		} else {
+			m.offPkg.Access(at, key, config.BlockSize, dram.Write)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package system
+
+import (
+	"testing"
+
+	"taglessdram/internal/config"
+)
+
+// scaledConfig returns the evaluated machine with capacities divided by
+// 1<<shift (the experiments' standard scale: shift 6 maps 1GB → 16MB).
+func scaledConfig(design config.L3Design, shift uint) *config.SystemConfig {
+	c := config.Default()
+	c.Design = design
+	c.CacheSize = c.CacheSize >> shift
+	c.InPkg.SizeBytes = c.InPkg.SizeBytes >> shift
+	c.OffPkg.SizeBytes = c.OffPkg.SizeBytes >> shift
+	return c
+}
+
+func runDesign(t *testing.T, design config.L3Design, workload string, instr uint64) *Result {
+	t.Helper()
+	cfg := scaledConfig(design, 6)
+	w, err := SingleProgram(workload, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(instr, instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSmokeAllDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test is slow")
+	}
+	for _, d := range config.AllDesigns() {
+		r := runDesign(t, d, "sphinx3", 3000000)
+		t.Logf("%v", r)
+		if r.IPC <= 0 {
+			t.Errorf("%v: non-positive IPC", d)
+		}
+	}
+}

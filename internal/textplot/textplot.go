@@ -1,0 +1,119 @@
+// Package textplot renders small horizontal bar charts as text, used by
+// the experiments CLI to show the paper's figures directly in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a horizontal bar chart.
+type Chart struct {
+	Title string
+	Bars  []Bar
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	// Baseline draws a reference line at this value when positive
+	// (e.g. 1.0 for normalized IPC charts).
+	Baseline float64
+	// Format renders the numeric value (default "%.3f").
+	Format string
+}
+
+const blocks = "▏▎▍▌▋▊▉█"
+
+// Render draws the chart. Bars are scaled to the maximum value; a baseline
+// marker '|' is drawn inside bars that cross it.
+func (c Chart) Render() string {
+	if len(c.Bars) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.3f"
+	}
+
+	maxVal := 0.0
+	labelW := 0
+	for _, b := range c.Bars {
+		if b.Value > maxVal && !math.IsInf(b.Value, 1) {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxVal <= 0 || math.IsNaN(maxVal) {
+		maxVal = 1
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	baseCol := -1
+	if c.Baseline > 0 && c.Baseline <= maxVal {
+		baseCol = int(math.Round(c.Baseline / maxVal * float64(width)))
+	}
+	for _, b := range c.Bars {
+		v := b.Value
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		cells := v / maxVal * float64(width)
+		full := int(cells)
+		frac := cells - float64(full)
+		bar := strings.Repeat("█", full)
+		if frac > 0.06 && full < width {
+			idx := int(frac * 8)
+			if idx > 7 {
+				idx = 7
+			}
+			bar += string([]rune(blocks)[idx])
+		}
+		// Pad and insert baseline tick.
+		runes := []rune(bar)
+		for len(runes) < width {
+			runes = append(runes, ' ')
+		}
+		if baseCol >= 0 && baseCol < len(runes) && runes[baseCol] == ' ' {
+			runes[baseCol] = '·'
+		}
+		fmt.Fprintf(&sb, "%-*s %s "+format+"\n", labelW, b.Label, string(runes), b.Value)
+	}
+	return sb.String()
+}
+
+// GroupedChart renders one chart per group key, preserving group order.
+type GroupedChart struct {
+	Title  string
+	Groups []Chart
+}
+
+// Render draws every group chart separated by blank lines.
+func (g GroupedChart) Render() string {
+	var sb strings.Builder
+	if g.Title != "" {
+		sb.WriteString(g.Title)
+		sb.WriteString("\n\n")
+	}
+	for i, c := range g.Groups {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(c.Render())
+	}
+	return sb.String()
+}

@@ -1,0 +1,114 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title: "IPC",
+		Bars: []Bar{
+			{"NoL3", 1.0},
+			{"cTLB", 1.3},
+		},
+		Width: 10,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "IPC") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "NoL3") || !strings.Contains(out, "cTLB") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "1.300") {
+		t.Fatalf("value missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	// The max bar must be longer than the smaller one.
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "x"}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}
+
+func TestBaselineTick(t *testing.T) {
+	c := Chart{
+		Bars:     []Bar{{"a", 0.5}, {"b", 2.0}},
+		Width:    20,
+		Baseline: 1.0,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "·") {
+		t.Fatalf("baseline tick missing:\n%s", out)
+	}
+}
+
+func TestNegativeAndZeroValues(t *testing.T) {
+	c := Chart{Bars: []Bar{{"neg", -1}, {"zero", 0}, {"pos", 1}}, Width: 8}
+	out := c.Render()
+	if out == "" {
+		t.Fatal("render failed")
+	}
+	// Negative renders as empty bar but keeps its value text.
+	if !strings.Contains(out, "-1.000") {
+		t.Fatalf("negative value missing:\n%s", out)
+	}
+}
+
+func TestAllZeroNoDivByZero(t *testing.T) {
+	c := Chart{Bars: []Bar{{"a", 0}, {"b", 0}}}
+	_ = c.Render() // must not panic
+}
+
+func TestGroupedChart(t *testing.T) {
+	g := GroupedChart{
+		Title: "Figure",
+		Groups: []Chart{
+			{Title: "g1", Bars: []Bar{{"x", 1}}},
+			{Title: "g2", Bars: []Bar{{"y", 2}}},
+		},
+	}
+	out := g.Render()
+	for _, want := range []string{"Figure", "g1", "g2", "x", "y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCustomFormat(t *testing.T) {
+	c := Chart{Bars: []Bar{{"a", 12.3456}}, Format: "%.1f"}
+	if !strings.Contains(c.Render(), "12.3") {
+		t.Fatal("custom format ignored")
+	}
+}
+
+// Property: rendering never panics and every label/line appears.
+func TestRenderTotalProperty(t *testing.T) {
+	f := func(vals []float64, width uint8) bool {
+		bars := make([]Bar, len(vals))
+		for i, v := range vals {
+			bars[i] = Bar{Label: "b" + string(rune('a'+i%26)), Value: v}
+		}
+		c := Chart{Bars: bars, Width: int(width % 100)}
+		out := c.Render()
+		if len(bars) == 0 {
+			return strings.Contains(out, "no data")
+		}
+		return strings.Count(out, "\n") >= len(bars)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

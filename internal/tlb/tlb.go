@@ -1,0 +1,260 @@
+// Package tlb implements set-associative translation lookaside buffers and
+// the per-core two-level hierarchy used in the paper (32-entry L1, 512-entry
+// L2). The same hardware serves as a conventional TLB (virtual→physical) or
+// as the paper's cache-map TLB (cTLB, virtual→cache): an Entry's Frame is
+// interpreted by the owner, and the NC bit marks non-cacheable pages whose
+// frames remain physical (Section 3.2).
+package tlb
+
+import (
+	"fmt"
+
+	"taglessdram/internal/config"
+)
+
+// Entry is one translation. For a cTLB with NC clear, Frame is the cache
+// block number; with NC set (or in a conventional TLB) it is the physical
+// page number.
+type Entry struct {
+	Frame uint64
+	NC    bool
+}
+
+type slot struct {
+	vpn   uint64
+	entry Entry
+	valid bool
+	used  uint64
+}
+
+// TLB is one set-associative translation buffer with LRU replacement.
+type TLB struct {
+	cfg  config.TLBConfig
+	sets [][]slot
+	tick uint64
+
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New constructs a TLB from its configuration.
+func New(cfg config.TLBConfig) *TLB {
+	nsets := cfg.Sets()
+	if nsets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %+v", cfg))
+	}
+	t := &TLB{cfg: cfg, sets: make([][]slot, nsets)}
+	for i := range t.sets {
+		t.sets[i] = make([]slot, cfg.Ways)
+	}
+	return t
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() config.TLBConfig { return t.cfg }
+
+func (t *TLB) set(vpn uint64) []slot {
+	return t.sets[int(vpn%uint64(len(t.sets)))]
+}
+
+// Lookup searches for vpn, updating LRU state and hit/miss counters.
+func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
+	t.Accesses++
+	t.tick++
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			t.Hits++
+			set[i].used = t.tick
+			return set[i].entry, true
+		}
+	}
+	t.Misses++
+	return Entry{}, false
+}
+
+// Peek reports presence without perturbing LRU state or counters.
+func (t *TLB) Peek(vpn uint64) (Entry, bool) {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return set[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert adds (or refreshes) a translation and returns any displaced
+// translation. Inserting an existing vpn overwrites it with no eviction.
+func (t *TLB) Insert(vpn uint64, e Entry) (evictedVPN uint64, evicted Entry, didEvict bool) {
+	t.tick++
+	set := t.set(vpn)
+	vi := -1
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].entry = e
+			set[i].used = t.tick
+			return 0, Entry{}, false
+		}
+		if !set[i].valid && vi == -1 {
+			vi = i
+		}
+	}
+	if vi == -1 {
+		vi = 0
+		for i := range set {
+			if set[i].used < set[vi].used {
+				vi = i
+			}
+		}
+		evictedVPN, evicted, didEvict = set[vi].vpn, set[vi].entry, true
+		t.Evictions++
+	}
+	set[vi] = slot{vpn: vpn, entry: e, valid: true, used: t.tick}
+	return evictedVPN, evicted, didEvict
+}
+
+// Invalidate drops vpn if present and reports whether it was.
+func (t *TLB) Invalidate(vpn uint64) bool {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i] = slot{}
+			return true
+		}
+	}
+	return false
+}
+
+// Update rewrites the entry for vpn in place (e.g. remapping CA→PA during a
+// shootdown) and reports whether vpn was present.
+func (t *TLB) Update(vpn uint64, e Entry) bool {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].entry = e
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid entries.
+func (t *TLB) Occupancy() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates everything.
+func (t *TLB) Flush() {
+	for si := range t.sets {
+		for i := range t.sets[si] {
+			t.sets[si][i] = slot{}
+		}
+	}
+}
+
+// HitRate returns hits/accesses, or 0 before any access.
+func (t *TLB) HitRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Accesses)
+}
+
+// ResetStats clears counters, keeping contents.
+func (t *TLB) ResetStats() { t.Accesses, t.Hits, t.Misses, t.Evictions = 0, 0, 0, 0 }
+
+// Hierarchy is one core's L1+L2 TLB pair, maintained inclusively: every L1
+// entry is also in L2, so a page leaves the core's TLB reach exactly when
+// it leaves L2. OnEvict (if set) fires at that moment — the tagless cache
+// uses it to clear the page's TLB-residence bit in the GIPT (Section 3.2).
+type Hierarchy struct {
+	L1, L2  *TLB
+	OnEvict func(vpn uint64, e Entry)
+}
+
+// NewHierarchy builds a two-level TLB for one core.
+func NewHierarchy(l1, l2 config.TLBConfig) *Hierarchy {
+	return &Hierarchy{L1: New(l1), L2: New(l2)}
+}
+
+// Level identifies where a lookup hit.
+type Level int
+
+// Lookup levels.
+const (
+	MissAll Level = iota // not in any level
+	InL1
+	InL2
+)
+
+// Lookup searches L1 then L2. An L2 hit refills L1.
+func (h *Hierarchy) Lookup(vpn uint64) (Entry, Level) {
+	if e, ok := h.L1.Lookup(vpn); ok {
+		return e, InL1
+	}
+	if e, ok := h.L2.Lookup(vpn); ok {
+		// Refill L1; inclusivity means the L1 victim is still in L2.
+		h.L1.Insert(vpn, e)
+		return e, InL2
+	}
+	return Entry{}, MissAll
+}
+
+// Insert installs a translation into both levels, firing OnEvict for any
+// translation that leaves L2 (and with it, the hierarchy).
+func (h *Hierarchy) Insert(vpn uint64, e Entry) {
+	if evpn, ee, ok := h.L2.Insert(vpn, e); ok {
+		h.L1.Invalidate(evpn) // preserve inclusion
+		if h.OnEvict != nil {
+			h.OnEvict(evpn, ee)
+		}
+	}
+	h.L1.Insert(vpn, e)
+}
+
+// Contains reports whether vpn is resident anywhere in the hierarchy
+// without perturbing state.
+func (h *Hierarchy) Contains(vpn uint64) bool {
+	if _, ok := h.L1.Peek(vpn); ok {
+		return true
+	}
+	_, ok := h.L2.Peek(vpn)
+	return ok
+}
+
+// Invalidate performs a shootdown of vpn from both levels and reports
+// whether it was present. OnEvict fires if it was.
+func (h *Hierarchy) Invalidate(vpn uint64) bool {
+	e, inL2 := h.L2.Peek(vpn)
+	h.L1.Invalidate(vpn)
+	if inL2 {
+		h.L2.Invalidate(vpn)
+		if h.OnEvict != nil {
+			h.OnEvict(vpn, e)
+		}
+	}
+	return inL2
+}
+
+// Update rewrites vpn's entry in both levels (returns whether present in L2).
+func (h *Hierarchy) Update(vpn uint64, e Entry) bool {
+	h.L1.Update(vpn, e)
+	return h.L2.Update(vpn, e)
+}
+
+// Flush clears both levels without firing OnEvict (power-on reset).
+func (h *Hierarchy) Flush() {
+	h.L1.Flush()
+	h.L2.Flush()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import "fmt"
+
+// Profiles for the 11 most memory-bound SPEC CPU 2006 programs the paper
+// evaluates (Section 4) plus the four PARSEC programs of Section 5.3.
+// Footprints are at paper scale (4KB pages); MPKI, reuse, spatial locality
+// and singleton fractions encode each program's published qualitative
+// behaviour:
+//
+//   - GemsFDTD and milc: many low-reuse pages → low DRAM-cache hit rate,
+//     large IPC gap from the ideal cache (Section 5.1, Figure 13).
+//   - libquantum: streaming with high spatial locality → largest L3
+//     latency reduction (Figure 8).
+//   - streamcluster and facesim: high page reuse and high MPKI → the
+//     PARSEC winners (Section 5.3).
+//   - swaptions and fluidanimate: low MPKI, mostly singleton pages → flat
+//     or slightly negative (Section 5.3).
+const pagesPerMB = 256
+
+var specProfiles = []Profile{
+	{Name: "mcf", MPKI: 30, FootprintPages: 150 * pagesPerMB, HotPages: 40 * pagesPerMB,
+		HotFraction: 0.62, SpatialBlocks: 4, BlockRepeats: 2, SingletonFrac: 0.005, WriteFraction: 0.22, DependentFrac: 0.75},
+	{Name: "milc", MPKI: 20, FootprintPages: 800 * pagesPerMB, HotPages: 24 * pagesPerMB,
+		HotFraction: 0.65, SpatialBlocks: 14, BlockRepeats: 1, SingletonFrac: 0.02, WriteFraction: 0.30, DependentFrac: 0.35},
+	{Name: "leslie3d", MPKI: 21, FootprintPages: 80 * pagesPerMB, HotPages: 20 * pagesPerMB,
+		HotFraction: 0.70, SpatialBlocks: 16, BlockRepeats: 2, SingletonFrac: 0.02, WriteFraction: 0.34, DependentFrac: 0.30, Streaming: true},
+	{Name: "soplex", MPKI: 22, FootprintPages: 120 * pagesPerMB, HotPages: 28 * pagesPerMB,
+		HotFraction: 0.64, SpatialBlocks: 8, BlockRepeats: 2, SingletonFrac: 0.02, WriteFraction: 0.24, DependentFrac: 0.50},
+	{Name: "GemsFDTD", MPKI: 20, FootprintPages: 1000 * pagesPerMB, HotPages: 24 * pagesPerMB,
+		HotFraction: 0.65, SpatialBlocks: 16, BlockRepeats: 1, SingletonFrac: 0.12, WriteFraction: 0.38, DependentFrac: 0.40},
+	{Name: "lbm", MPKI: 26, FootprintPages: 180 * pagesPerMB, HotPages: 32 * pagesPerMB,
+		HotFraction: 0.52, SpatialBlocks: 24, BlockRepeats: 1, SingletonFrac: 0.01, WriteFraction: 0.46, DependentFrac: 0.15, Streaming: true},
+	{Name: "omnetpp", MPKI: 19, FootprintPages: 100 * pagesPerMB, HotPages: 26 * pagesPerMB,
+		HotFraction: 0.66, SpatialBlocks: 3, BlockRepeats: 3, SingletonFrac: 0.01, WriteFraction: 0.28, DependentFrac: 0.70},
+	{Name: "sphinx3", MPKI: 12, FootprintPages: 120 * pagesPerMB, HotPages: 32 * pagesPerMB,
+		HotFraction: 0.80, SpatialBlocks: 9, BlockRepeats: 2, SingletonFrac: 0.02, WriteFraction: 0.14, DependentFrac: 0.45},
+	{Name: "libquantum", MPKI: 25, FootprintPages: 64 * pagesPerMB, HotPages: 16 * pagesPerMB,
+		HotFraction: 0.40, SpatialBlocks: 32, BlockRepeats: 1, SingletonFrac: 0, WriteFraction: 0.25, DependentFrac: 0.10, Streaming: true},
+	{Name: "bwaves", MPKI: 15, FootprintPages: 160 * pagesPerMB, HotPages: 36 * pagesPerMB,
+		HotFraction: 0.58, SpatialBlocks: 20, BlockRepeats: 2, SingletonFrac: 0.01, WriteFraction: 0.30, DependentFrac: 0.20, Streaming: true},
+	{Name: "zeusmp", MPKI: 10, FootprintPages: 100 * pagesPerMB, HotPages: 28 * pagesPerMB,
+		HotFraction: 0.72, SpatialBlocks: 14, BlockRepeats: 2, SingletonFrac: 0.02, WriteFraction: 0.32, DependentFrac: 0.35},
+}
+
+var parsecProfiles = []Profile{
+	{Name: "swaptions", MPKI: 1.2, FootprintPages: 32 * pagesPerMB, HotPages: 4 * pagesPerMB,
+		HotFraction: 0.35, SpatialBlocks: 2, BlockRepeats: 3, SingletonFrac: 0.04, WriteFraction: 0.20, DependentFrac: 0.30},
+	{Name: "facesim", MPKI: 9, FootprintPages: 200 * pagesPerMB, HotPages: 56 * pagesPerMB,
+		HotFraction: 0.82, SpatialBlocks: 12, BlockRepeats: 2, SingletonFrac: 0.03, WriteFraction: 0.36, DependentFrac: 0.40},
+	{Name: "fluidanimate", MPKI: 3.2, FootprintPages: 120 * pagesPerMB, HotPages: 12 * pagesPerMB,
+		HotFraction: 0.40, SpatialBlocks: 4, BlockRepeats: 3, SingletonFrac: 0.04, WriteFraction: 0.30, DependentFrac: 0.35},
+	{Name: "streamcluster", MPKI: 16, FootprintPages: 160 * pagesPerMB, HotPages: 48 * pagesPerMB,
+		HotFraction: 0.85, SpatialBlocks: 16, BlockRepeats: 1, SingletonFrac: 0.02, WriteFraction: 0.18, DependentFrac: 0.25, Streaming: true},
+}
+
+// SPECNames lists the 11 single-programmed workloads in plot order.
+func SPECNames() []string {
+	out := make([]string, len(specProfiles))
+	for i, p := range specProfiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// PARSECNames lists the four multi-threaded workloads.
+func PARSECNames() []string {
+	out := make([]string, len(parsecProfiles))
+	for i, p := range parsecProfiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ProfileByName returns the named SPEC or PARSEC profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range specProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range parsecProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}
+
+// Mixes reproduces Table 5: the eight multi-programmed groupings of four
+// memory-bound SPEC programs.
+func Mixes() map[string][]string {
+	return map[string][]string{
+		"MIX1": {"milc", "leslie3d", "omnetpp", "sphinx3"},
+		"MIX2": {"milc", "leslie3d", "soplex", "omnetpp"},
+		"MIX3": {"milc", "soplex", "GemsFDTD", "omnetpp"},
+		"MIX4": {"soplex", "GemsFDTD", "lbm", "omnetpp"},
+		"MIX5": {"mcf", "soplex", "GemsFDTD", "lbm"},
+		"MIX6": {"mcf", "leslie3d", "lbm", "sphinx3"},
+		"MIX7": {"milc", "soplex", "lbm", "sphinx3"},
+		"MIX8": {"mcf", "leslie3d", "GemsFDTD", "omnetpp"},
+	}
+}
+
+// MixNames returns MIX1..MIX8 in order.
+func MixNames() []string {
+	return []string{"MIX1", "MIX2", "MIX3", "MIX4", "MIX5", "MIX6", "MIX7", "MIX8"}
+}

@@ -1,0 +1,380 @@
+// Package trace generates synthetic memory-reference streams that stand in
+// for the paper's SimPoint slices of SPEC CPU 2006 and PARSEC programs.
+//
+// The published results are driven by a handful of aggregate workload
+// properties the paper calls out explicitly: misses per kilo-instruction
+// (the programs were chosen as the 11 most memory-bound), memory footprint
+// (multi-programmed mixes quadruple it), page reuse ratio (GemsFDTD and
+// milc are low; streamcluster and facesim are high), spatial locality
+// (blocks touched per page), and the fraction of singleton pages
+// (swaptions and fluidanimate). Each Profile encodes those properties and
+// the Generator emits a deterministic reference stream exhibiting them.
+//
+// Address streams use a working-set model: bursts of spatially adjacent
+// blocks within a page, pages drawn either from a hot set (reuse) or from
+// a cold sequence (first touches; sequential for streaming programs).
+package trace
+
+import "fmt"
+
+// Access is one memory reference in a trace.
+type Access struct {
+	VAddr uint64 // virtual byte address
+	Write bool
+	// Gap is the number of non-memory instructions retired before this
+	// reference; it sets the program's memory intensity (MPKI).
+	Gap int
+	// LowReuse marks references to pages an offline profile would
+	// classify as having fewer than the paper's 32-access threshold
+	// (Section 5.4); the non-cacheable-page policy consumes it.
+	LowReuse bool
+	// Dependent marks a load on a serial dependence chain (pointer
+	// chasing); its latency cannot be hidden by memory-level parallelism.
+	Dependent bool
+	// Shared marks a reference to an inter-process shared page (a shared
+	// library or kernel page). Sections 3.5 and 6 discuss how the
+	// tagless cache handles such pages: mark them non-cacheable, or
+	// resolve them through a physical→cache alias table.
+	Shared bool
+}
+
+// SingletonBase is the first virtual page of the unbounded region holding
+// singleton (touch-once) pages. Real low-reuse pages are fresh addresses
+// that never repeat, which is what makes them pollute page-granularity
+// caches (the paper's over-fetching problem).
+const SingletonBase = uint64(1) << 30
+
+// SharedBase is the first virtual page of the inter-process shared region
+// (mapped at the same virtual address in every process, like a prelinked
+// shared library).
+const SharedBase = uint64(1) << 32
+
+// SharedRegionPages is the size of the shared region.
+const SharedRegionPages = 256
+
+// Profile describes one program's memory behaviour at full (paper) scale.
+type Profile struct {
+	Name           string
+	MPKI           float64 // L2 misses per kilo-instruction
+	FootprintPages int     // distinct 4KB pages touched over the run
+	HotPages       int     // size of the actively reused working set
+	HotFraction    float64 // probability a page visit targets the hot set
+	SpatialBlocks  int     // distinct 64B blocks touched per page visit (1..64)
+	BlockRepeats   int     // extra near-term re-references per block
+	SingletonFrac  float64 // probability a cold page visit is a singleton
+	WriteFraction  float64
+	DependentFrac  float64 // fraction of references on serial dependence chains
+	SharedFrac     float64 // probability a page visit targets the shared region
+	Streaming      bool    // cold pages advance sequentially and re-stream
+}
+
+// Validate reports the first inconsistency in the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("trace: profile needs a name")
+	case p.MPKI <= 0:
+		return fmt.Errorf("trace: %s: MPKI must be positive", p.Name)
+	case p.FootprintPages <= 0:
+		return fmt.Errorf("trace: %s: footprint must be positive", p.Name)
+	case p.HotPages <= 0 || p.HotPages > p.FootprintPages:
+		return fmt.Errorf("trace: %s: hot pages %d out of range", p.Name, p.HotPages)
+	case p.HotFraction < 0 || p.HotFraction > 1:
+		return fmt.Errorf("trace: %s: hot fraction out of [0,1]", p.Name)
+	case p.SpatialBlocks < 1 || p.SpatialBlocks > 64:
+		return fmt.Errorf("trace: %s: spatial blocks %d out of [1,64]", p.Name, p.SpatialBlocks)
+	case p.BlockRepeats < 0:
+		return fmt.Errorf("trace: %s: negative block repeats", p.Name)
+	case p.SingletonFrac < 0 || p.SingletonFrac > 1:
+		return fmt.Errorf("trace: %s: singleton fraction out of [0,1]", p.Name)
+	case p.WriteFraction < 0 || p.WriteFraction > 1:
+		return fmt.Errorf("trace: %s: write fraction out of [0,1]", p.Name)
+	case p.DependentFrac < 0 || p.DependentFrac > 1:
+		return fmt.Errorf("trace: %s: dependent fraction out of [0,1]", p.Name)
+	case p.SharedFrac < 0 || p.SharedFrac > 1:
+		return fmt.Errorf("trace: %s: shared fraction out of [0,1]", p.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy with the footprint (and hot set) divided by
+// 1<<shift, clamped to at least one page. Experiments shrink capacities
+// and footprints together so capacity ratios match the paper while runs
+// stay laptop-sized.
+func (p Profile) Scaled(shift uint) Profile {
+	s := p
+	s.FootprintPages = max(1, p.FootprintPages>>shift)
+	s.HotPages = max(1, min(p.HotPages>>shift, s.FootprintPages))
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rng is a splitmix64 generator: tiny, fast, and deterministic across runs.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// shared holds state a thread group shares: the cold-page cursor, the
+// singleton cursor and the hot working set. Single-threaded workloads own
+// a private instance.
+type shared struct {
+	profile  Profile
+	hot      []uint64 // ring of recently used pages
+	hotNext  int
+	cold     uint64 // cold-page visit counter
+	perm     uint64 // multiplier for the cold permutation (coprime)
+	singNext uint64 // next singleton page index
+	baseVPN  uint64
+	lowReuse map[uint64]bool // pages the offline profile marks low-reuse
+}
+
+// Generator emits one thread's reference stream.
+type Generator struct {
+	p      Profile
+	sh     *shared
+	r      rng
+	thread int
+
+	// Burst state: the current page visit.
+	page       uint64
+	pageLow    bool
+	pageShared bool
+	blockIdx   int
+	blocksCut  int // blocks remaining in this visit
+	repeats    int // repeats remaining for the current block
+	gapBase    int
+
+	emitted uint64
+}
+
+// NewGenerator builds a single-threaded generator for the profile. The
+// seed varies the stream; identical seeds give identical streams.
+func NewGenerator(p Profile, seed uint64) *Generator {
+	gs, err := NewThreadGroup(p, 1, seed)
+	if err != nil {
+		panic(err)
+	}
+	return gs[0]
+}
+
+// NewThreadGroup builds n generators sharing one address space and hot
+// working set, modelling a multi-threaded program (threads share the page
+// table, so shared pages cause no aliasing — Section 3.5).
+func NewThreadGroup(p Profile, n int, seed uint64) ([]*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: thread group needs at least one thread")
+	}
+	sh := &shared{
+		profile:  p,
+		hot:      make([]uint64, 0, p.HotPages),
+		perm:     coprimeNear(uint64(p.FootprintPages)),
+		baseVPN:  1 << 20, // keep VPNs away from zero for easier debugging
+		lowReuse: make(map[uint64]bool),
+	}
+	out := make([]*Generator, n)
+	for i := range out {
+		out[i] = &Generator{
+			p:       p,
+			sh:      sh,
+			r:       rng{s: seed*0x9e3779b97f4a7c15 + uint64(i)*0xdeadbeefcafef00d + 1},
+			thread:  i,
+			gapBase: gapFor(p),
+		}
+	}
+	return out, nil
+}
+
+// gapFor derives the inter-block instruction gap from the target MPKI:
+// one distinct block touch per 1000/MPKI instructions, of which the burst
+// itself accounts for 1 + repeats references.
+func gapFor(p Profile) int {
+	per := 1000.0 / p.MPKI
+	gap := int(per) - 1 - 2*p.BlockRepeats
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}
+
+// coprimeNear returns an odd multiplier coprime with n, used to walk the
+// footprint as a full permutation (every page touched once per wrap).
+func coprimeNear(n uint64) uint64 {
+	if n <= 2 {
+		return 1
+	}
+	p := (0x9e3779b97f4a7c15 % n) | 1
+	for gcd(p, n) != 1 {
+		p += 2
+		if p >= n {
+			p = 1
+		}
+	}
+	return p
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// pickPage chooses the next page to visit and classifies it.
+func (g *Generator) pickPage() (vpn uint64, lowReuse, shared bool) {
+	sh := g.sh
+	// Inter-process shared region (read-mostly, skewed towards its head
+	// like the hot functions of a shared library).
+	if g.p.SharedFrac > 0 && g.r.float() < g.p.SharedFrac {
+		a, b := g.r.intn(SharedRegionPages), g.r.intn(SharedRegionPages)
+		if b < a {
+			a = b
+		}
+		return SharedBase + uint64(a), false, true
+	}
+	if len(sh.hot) > 0 && g.r.float() < g.p.HotFraction {
+		// Hot-set reuse. Favor recency: take the more recently inserted
+		// of two uniform picks (a cheap Zipf-like skew).
+		a, b := g.r.intn(len(sh.hot)), g.r.intn(len(sh.hot))
+		idx := a
+		if recency(sh, b) > recency(sh, a) {
+			idx = b
+		}
+		return sh.hot[idx], false, false
+	}
+	// Singleton visits go to fresh, never-repeated pages: they are what
+	// pollutes page-granularity caches (Section 3.5's over-fetching).
+	if g.r.float() < g.p.SingletonFrac {
+		vpn = SingletonBase + sh.singNext
+		sh.singNext++
+		sh.lowReuse[vpn] = true
+		return vpn, true, false
+	}
+	// Cold page within the footprint: sequential for streaming programs,
+	// a full pseudo-random permutation otherwise — either way one wrap
+	// covers the footprint exactly once.
+	var idx uint64
+	if g.p.Streaming {
+		idx = sh.cold % uint64(g.p.FootprintPages)
+	} else {
+		idx = (sh.cold * sh.perm) % uint64(g.p.FootprintPages)
+	}
+	sh.cold++
+	vpn = sh.baseVPN + idx
+	sh.insertHot(vpn)
+	return vpn, false, false
+}
+
+// recency scores a hot-ring index by insertion order distance.
+func recency(sh *shared, i int) int {
+	d := sh.hotNext - 1 - i
+	if d < 0 {
+		d += len(sh.hot)
+	}
+	return len(sh.hot) - d
+}
+
+func (sh *shared) insertHot(vpn uint64) {
+	if len(sh.hot) < cap(sh.hot) {
+		sh.hot = append(sh.hot, vpn)
+		sh.hotNext = len(sh.hot) % cap(sh.hot)
+		return
+	}
+	sh.hot[sh.hotNext] = vpn
+	sh.hotNext = (sh.hotNext + 1) % len(sh.hot)
+}
+
+// Next returns the next reference in the stream. The stream is infinite;
+// callers stop at their instruction budget.
+func (g *Generator) Next() Access {
+	if g.blocksCut == 0 {
+		// Start a new page visit.
+		g.page, g.pageLow, g.pageShared = g.pickPage()
+		g.blocksCut = g.p.SpatialBlocks
+		if g.pageLow {
+			g.blocksCut = 1
+		}
+		g.blockIdx = g.r.intn(64 - g.blocksCut + 1)
+		g.repeats = g.p.BlockRepeats
+		g.emitted++
+		return g.emit(g.gapBase)
+	}
+	if g.repeats > 0 {
+		// Near-term re-reference of the same block (absorbed by L1/L2).
+		g.repeats--
+		g.emitted++
+		return g.emit(1)
+	}
+	// Advance to the next block of the burst.
+	g.blocksCut--
+	if g.blocksCut == 0 {
+		return g.Next()
+	}
+	g.blockIdx++
+	g.repeats = g.p.BlockRepeats
+	g.emitted++
+	return g.emit(g.gapBase)
+}
+
+func (g *Generator) emit(gap int) Access {
+	addr := (g.page << 12) | uint64(g.blockIdx)<<6 | uint64(g.r.intn(64))&0x38
+	write := g.r.float() < g.p.WriteFraction
+	if g.pageShared {
+		write = false // shared library text/ro-data
+	}
+	return Access{
+		VAddr:     addr,
+		Write:     write,
+		Gap:       gap,
+		LowReuse:  g.pageLow,
+		Dependent: g.r.float() < g.p.DependentFrac,
+		Shared:    g.pageShared,
+	}
+}
+
+// Emitted returns the number of references produced so far.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// LowReusePages returns a snapshot of pages currently classified as
+// low-reuse by the offline-profile oracle.
+func (g *Generator) LowReusePages() map[uint64]bool {
+	out := make(map[uint64]bool, len(g.sh.lowReuse))
+	for k := range g.sh.lowReuse {
+		out[k] = true
+	}
+	return out
+}

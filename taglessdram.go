@@ -1,0 +1,218 @@
+// Package taglessdram reproduces "A Fully Associative, Tagless DRAM Cache"
+// (Lee et al., ISCA 2015) as a cycle-level simulation library.
+//
+// The package is a facade over the internal simulator. A single run looks
+// like:
+//
+//	opts := taglessdram.DefaultOptions()
+//	r, err := taglessdram.Run(taglessdram.Tagless, "sphinx3", opts)
+//
+// and each figure or table of the paper's evaluation has a matching
+// RunFigureN/RunTableN function that returns typed rows ready to print.
+//
+// Capacities are scaled down by Options.Shift (default 64×: the paper's
+// 1GB cache becomes 16MB, workload footprints shrink equally) so full
+// sweeps run in seconds while capacity ratios — cache vs footprint vs TLB
+// reach — track the paper. Timings, energies and bandwidths are unscaled.
+package taglessdram
+
+import (
+	"fmt"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/system"
+	"taglessdram/internal/trace"
+)
+
+// Design selects a DRAM-cache organization (Section 4 of the paper).
+type Design = config.L3Design
+
+// The five evaluated organizations.
+const (
+	// NoL3 is the baseline: off-package DRAM only.
+	NoL3 = config.NoL3
+	// BankInterleave ("BI") maps in-package DRAM into the physical
+	// address space with OS-oblivious interleaving.
+	BankInterleave = config.BankInterleave
+	// SRAMTag is the page-based cache with an on-die SRAM tag array.
+	SRAMTag = config.SRAMTag
+	// Tagless is the proposed cTLB-based design.
+	Tagless = config.Tagless
+	// Ideal stores all data in-package.
+	Ideal = config.Ideal
+	// AlloyBlock is the block-based (tags-in-DRAM, direct-mapped) design
+	// class of Table 2, not part of the paper's five plotted designs.
+	AlloyBlock = config.AlloyBlock
+)
+
+// Replacement policies for the tagless cache (Figure 11; CLOCK is the
+// second-chance LRU approximation the paper names in Section 5.2).
+const (
+	FIFO  = config.FIFO
+	LRU   = config.LRU
+	CLOCK = config.CLOCK
+)
+
+// Result is re-exported from the system package: one measured run.
+type Result = system.Result
+
+// Options controls a simulation run.
+type Options struct {
+	// Shift scales capacities and footprints down by 1<<Shift.
+	Shift uint
+	// Warmup and Measure are per-core instruction budgets.
+	Warmup  uint64
+	Measure uint64
+	// Seed varies the synthetic traces.
+	Seed uint64
+	// CacheMB overrides the scaled DRAM-cache capacity in MB (0 = the
+	// scaled default, 1GB>>Shift).
+	CacheMB int64
+	// Policy selects the tagless victim policy (FIFO default).
+	Policy config.ReplacementPolicy
+	// NCAccessThreshold enables non-cacheable-page classification for
+	// pages an offline profile marks low-reuse (Section 5.4; 32 in the
+	// paper's case study).
+	NCAccessThreshold int
+	// SynchronousEviction and CachedGIPT enable the two ablations.
+	SynchronousEviction bool
+	CachedGIPT          bool
+	// SharedAliasTable enables Section 6's physical→cache alias table
+	// for inter-process shared pages (default: such pages are marked
+	// non-cacheable, the solution the paper adopts in Section 3.5).
+	SharedAliasTable bool
+	// HotFilterThreshold enables the online CHOP-style hot-page filter:
+	// pages start non-cacheable and are promoted after this many
+	// accesses. Needs no offline profile, unlike NCAccessThreshold.
+	HotFilterThreshold int
+	// Superpages maps application regions as superpages (Section 6).
+	// The region size is the paper's 2MB scaled by Shift (at the default
+	// 64x scale: 8 base pages), so region-to-cache ratios track a 2MB
+	// superpage against a 1GB cache.
+	Superpages bool
+	// Refresh enables DRAM refresh modeling (tREFI/tRFC blackouts) on
+	// both devices. Off by default: the paper's Table 4 has no refresh
+	// parameters.
+	Refresh bool
+	// L2TLBEntries overrides the per-core L2 TLB capacity (0 = the
+	// paper's 512), for TLB-reach sensitivity studies.
+	L2TLBEntries int
+	// Alpha overrides the number of free blocks kept available (0 = the
+	// paper's 1).
+	Alpha int
+	// MemoryWalk models page-table walks as memory traffic (MMU walk
+	// caches + leaf PTE reads) instead of the paper-style fixed cost.
+	MemoryWalk bool
+	// MSHRs overrides the per-core outstanding-miss window (0 = the
+	// default 8), for memory-level-parallelism sensitivity studies.
+	MSHRs int
+}
+
+// DefaultOptions returns the experiments' standard scale: 64× shrink,
+// 3M warmup + 3M measured instructions per core.
+func DefaultOptions() Options {
+	return Options{Shift: 6, Warmup: 3_000_000, Measure: 3_000_000, Seed: 1}
+}
+
+// configFor builds the machine configuration for a run.
+func configFor(design Design, o Options) *config.SystemConfig {
+	c := config.Default()
+	c.Design = design
+	c.InPkg.SizeBytes >>= o.Shift
+	c.OffPkg.SizeBytes >>= o.Shift
+	if o.CacheMB > 0 {
+		c.CacheSize = o.CacheMB * config.MB
+	} else {
+		c.CacheSize >>= o.Shift
+	}
+	if c.CacheSize > c.InPkg.SizeBytes {
+		c.InPkg.SizeBytes = c.CacheSize
+	}
+	c.Tagless.Policy = o.Policy
+	c.Tagless.NCAccessThreshold = o.NCAccessThreshold
+	c.Tagless.SynchronousEviction = o.SynchronousEviction
+	c.Tagless.CachedGIPT = o.CachedGIPT
+	c.Tagless.SharedAliasTable = o.SharedAliasTable
+	c.Tagless.HotFilterThreshold = o.HotFilterThreshold
+	if o.Superpages {
+		sp := 512 >> o.Shift // 2MB at paper scale
+		if sp < 2 {
+			sp = 2
+		}
+		c.Tagless.SuperpagePages = sp
+	}
+	if o.Refresh {
+		// DDR3-style refresh off-package; faster-bank refresh in-package.
+		c.OffPkg.Timing.TREFIns, c.OffPkg.Timing.TRFCns = 7800, 350
+		c.InPkg.Timing.TREFIns, c.InPkg.Timing.TRFCns = 3900, 260
+	}
+	if o.L2TLBEntries > 0 {
+		c.L2TLB.Entries = o.L2TLBEntries
+		if c.L2TLB.Entries < c.L2TLB.Ways {
+			c.L2TLB.Ways = 1
+		}
+	}
+	if o.Alpha > 0 {
+		c.Tagless.Alpha = o.Alpha
+	}
+	c.MemoryWalk = o.MemoryWalk
+	if o.MSHRs > 0 {
+		c.CPU.MSHRs = o.MSHRs
+	}
+	return c
+}
+
+// workloadFor resolves a workload name: a SPEC program (single-programmed,
+// four SimPoint slices), MIX1–MIX8 (multi-programmed), or a PARSEC program
+// (multi-threaded).
+func workloadFor(name string, o Options) (system.Workload, error) {
+	if _, ok := trace.Mixes()[name]; ok {
+		return system.Mix(name, o.Shift, o.Seed)
+	}
+	for _, p := range trace.PARSECNames() {
+		if p == name {
+			return system.MultiThread(name, o.Shift, o.Seed)
+		}
+	}
+	return system.SingleProgram(name, o.Shift, o.Seed)
+}
+
+// Run simulates one (design, workload) pair and returns its metrics.
+func Run(design Design, workload string, o Options) (*Result, error) {
+	w, err := workloadFor(workload, o)
+	if err != nil {
+		return nil, err
+	}
+	cfg := configFor(design, o)
+	m, err := system.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Measure
+	}
+	return m.Run(o.Warmup, o.Measure)
+}
+
+// SPECWorkloads lists the 11 single-programmed workloads (Figure 7 order).
+func SPECWorkloads() []string { return trace.SPECNames() }
+
+// MixWorkloads lists MIX1–MIX8 (Table 5).
+func MixWorkloads() []string { return trace.MixNames() }
+
+// PARSECWorkloads lists the four multi-threaded workloads (Figure 12).
+func PARSECWorkloads() []string { return trace.PARSECNames() }
+
+// Designs lists the five organizations in the paper's plot order.
+func Designs() []Design { return config.AllDesigns() }
+
+// Validate checks an Options value.
+func (o Options) Validate() error {
+	if o.Measure == 0 {
+		return fmt.Errorf("taglessdram: Measure must be positive")
+	}
+	if o.Shift > 10 {
+		return fmt.Errorf("taglessdram: Shift %d unreasonably large", o.Shift)
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package taglessdram
+
+import (
+	"testing"
+)
+
+// quickOpts keeps root-package tests fast: small budgets, default scale.
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Warmup, o.Measure = 250_000, 250_000
+	return o
+}
+
+func TestDefaultOptionsValid(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	o := DefaultOptions()
+	o.Measure = 0
+	if err := o.Validate(); err == nil {
+		t.Error("zero measure accepted")
+	}
+	o = DefaultOptions()
+	o.Shift = 20
+	if err := o.Validate(); err == nil {
+		t.Error("absurd shift accepted")
+	}
+}
+
+func TestWorkloadLists(t *testing.T) {
+	if len(SPECWorkloads()) != 11 {
+		t.Errorf("SPEC workloads = %d, want 11", len(SPECWorkloads()))
+	}
+	if len(MixWorkloads()) != 8 {
+		t.Errorf("mixes = %d, want 8", len(MixWorkloads()))
+	}
+	if len(PARSECWorkloads()) != 4 {
+		t.Errorf("PARSEC workloads = %d, want 4", len(PARSECWorkloads()))
+	}
+	if len(Designs()) != 5 {
+		t.Errorf("designs = %d, want 5", len(Designs()))
+	}
+}
+
+func TestRunEachWorkloadKind(t *testing.T) {
+	o := quickOpts()
+	for _, wl := range []string{"sphinx3", "MIX1", "streamcluster"} {
+		r, err := Run(Tagless, wl, o)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if r.IPC <= 0 {
+			t.Errorf("%s: IPC = %v", wl, r.IPC)
+		}
+		if r.Design != Tagless {
+			t.Errorf("%s: design = %v", wl, r.Design)
+		}
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(Tagless, "nonesuch", quickOpts()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunCacheSizeOverride(t *testing.T) {
+	o := quickOpts()
+	o.CacheMB = 4
+	r, err := Run(Tagless, "sphinx3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Fatal("override run failed")
+	}
+}
+
+func TestRunZeroWarmupDefaults(t *testing.T) {
+	o := quickOpts()
+	o.Warmup = 0
+	if _, err := Run(NoL3, "sphinx3", o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable6MatchesPaper(t *testing.T) {
+	rows := RunTable6()
+	if len(rows) != 4 {
+		t.Fatalf("table 6 rows = %d", len(rows))
+	}
+	last := rows[3]
+	if last.CacheSize != 1<<30 || last.LatencyCyc != 11 {
+		t.Fatalf("1GB row = %+v", last)
+	}
+}
+
+func TestRunTable1CasesPresent(t *testing.T) {
+	rows, err := RunTable1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("table 1 rows = %d, want 5", len(rows))
+	}
+	// The pure-hit case must dominate and cost zero.
+	if rows[0].TLB != "Hit" || rows[0].MeanCycles != 0 || rows[0].Count == 0 {
+		t.Fatalf("hit/hit row = %+v", rows[0])
+	}
+}
+
+func TestRunFigure13Gains(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 600_000, 600_000
+	row, err := RunFigure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.NCAccesses == 0 {
+		t.Fatal("NC case study produced no NC accesses")
+	}
+	if row.NCOffPkgB >= row.BaseOffPkgB {
+		t.Fatalf("NC pages should cut off-package bytes: %d vs %d",
+			row.NCOffPkgB, row.BaseOffPkgB)
+	}
+}
+
+func TestRunFigure11BothPolicies(t *testing.T) {
+	rows, err := RunFigure11(quickOpts(), []string{"MIX1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].FIFOIPC <= 0 || rows[0].LRUIPC <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestRunFigure10Shapes(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 750_000, 750_000
+	rows, err := RunFigure10(o, []string{"MIX5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 sizes", len(rows))
+	}
+	// The paper's crossover: at the smallest cache both designs lose to
+	// BI; at the largest they recover substantially.
+	small, large := rows[0], rows[2]
+	if small.CacheMB != 4 || large.CacheMB != 16 {
+		t.Fatalf("sizes = %d..%d", small.CacheMB, large.CacheMB)
+	}
+	if small.CTLBNorm >= large.CTLBNorm {
+		t.Errorf("tagless should improve with cache size: %.2f -> %.2f",
+			small.CTLBNorm, large.CTLBNorm)
+	}
+}
+
+func TestRunTable2Rows(t *testing.T) {
+	rows, err := RunTable2(quickOpts(), "MIX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (block, page, tagless)", len(rows))
+	}
+	alloy, sram, ctlb := rows[0], rows[1], rows[2]
+	if alloy.TagInDRAMMB != 128 {
+		t.Errorf("block-based in-DRAM tags = %vMB, want 128 (paper scale)", alloy.TagInDRAMMB)
+	}
+	if sram.TagStorageMB != 4 {
+		t.Errorf("SRAM tag storage = %vMB, want 4 (paper scale)", sram.TagStorageMB)
+	}
+	if ctlb.TagStorageMB != 0 || ctlb.TagInDRAMMB != 0 {
+		t.Errorf("tagless tag storage = %v/%vMB, want 0", ctlb.TagStorageMB, ctlb.TagInDRAMMB)
+	}
+	if ctlb.L3HitRate != 1 {
+		t.Errorf("tagless hit rate = %v", ctlb.L3HitRate)
+	}
+	if alloy.L3HitRate >= sram.L3HitRate {
+		t.Errorf("block-based hit rate %v should trail page-based %v (Table 2)",
+			alloy.L3HitRate, sram.L3HitRate)
+	}
+}
+
+func TestRunAMATCheck(t *testing.T) {
+	rows, err := RunAMATCheck(quickOpts(), []string{"sphinx3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.ModelSRAMLat <= 0 || r.ModelCTLBLat <= 0 {
+		t.Fatalf("model produced non-positive latencies: %+v", r)
+	}
+	// The closed forms exclude queueing: they must lower-bound the sim.
+	if r.ModelSRAMLat > r.SimSRAMLat*1.05 || r.ModelCTLBLat > r.SimCTLBLat*1.05 {
+		t.Fatalf("model exceeds simulation: %+v", r)
+	}
+}
+
+func TestGeoMeanHelpers(t *testing.T) {
+	rows := []DesignRow{
+		{Design: Tagless, NormIPC: 2, NormEDP: 0.5},
+		{Design: Tagless, NormIPC: 8, NormEDP: 2},
+		{Design: NoL3, NormIPC: 1, NormEDP: 1},
+	}
+	if got := GeoMeanNormIPC(rows, Tagless); got != 4 {
+		t.Errorf("geomean IPC = %v, want 4", got)
+	}
+	if got := GeoMeanNormEDP(rows, Tagless); got != 1 {
+		t.Errorf("geomean EDP = %v, want 1", got)
+	}
+}
+
+func TestRunSharedPagesStudy(t *testing.T) {
+	o := quickOpts()
+	rows, err := RunSharedPages(o, "MIX1", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ncRow, aliasRow := rows[1], rows[2]
+	if ncRow.NCAccesses == 0 {
+		t.Error("NC variant shows no NC accesses")
+	}
+	if aliasRow.NCAccesses != 0 {
+		t.Error("alias variant still bypasses shared pages")
+	}
+	if aliasRow.L3HitRate != 1 {
+		t.Errorf("alias variant hit rate = %v, want 1", aliasRow.L3HitRate)
+	}
+}
+
+func TestRunHotFilterSweep(t *testing.T) {
+	o := quickOpts()
+	rows, err := RunHotFilter(o, "GemsFDTD", []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].NCAccesses != 0 {
+		t.Error("disabled filter produced NC accesses")
+	}
+	if rows[1].NCAccesses == 0 {
+		t.Error("enabled filter produced no NC accesses")
+	}
+}
+
+func TestRunSuperpagesStudy(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 600_000, 600_000
+	rows, err := RunSuperpages(o, []string{"mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, sp := rows[0], rows[1]
+	if sp.TLBMissRate >= base.TLBMissRate {
+		t.Errorf("superpages did not extend TLB reach: %.4f vs %.4f",
+			sp.TLBMissRate, base.TLBMissRate)
+	}
+}
+
+func TestRunTLBReachStudy(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 600_000, 600_000
+	rows, err := RunTLBReach(o, "mcf", []int{128, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	if small.TLBMissRate <= big.TLBMissRate {
+		t.Errorf("smaller TLB should miss more: %.4f vs %.4f",
+			small.TLBMissRate, big.TLBMissRate)
+	}
+	if small.VictimHits <= big.VictimHits {
+		t.Errorf("victim cache should absorb the smaller TLB's misses: %d vs %d",
+			small.VictimHits, big.VictimHits)
+	}
+}
+
+func TestRefreshOptionSlowsRun(t *testing.T) {
+	o := quickOpts()
+	base, err := Run(Tagless, "sphinx3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Refresh = true
+	ref, err := Run(Tagless, "sphinx3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.IPC > base.IPC*1.001 {
+		t.Errorf("refresh made the machine faster: %.3f vs %.3f", ref.IPC, base.IPC)
+	}
+}
+
+func TestAlphaOptionApplies(t *testing.T) {
+	o := quickOpts()
+	o.Alpha = 8
+	o.CacheMB = 2
+	r, err := Run(Tagless, "milc", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Fatal("alpha-8 run failed")
+	}
+}
+
+// TestHeadlineClaimQuick verifies at reduced budget the abstract's ordering
+// for a favorable workload: tagless beats SRAM-tag on IPC and EDP.
+func TestHeadlineClaimQuick(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 1_000_000, 1_000_000
+	rs, err := Run(SRAMTag, "sphinx3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Run(Tagless, "sphinx3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.IPC <= rs.IPC {
+		t.Errorf("tagless IPC %.3f not above SRAM-tag %.3f", rt.IPC, rs.IPC)
+	}
+	if rt.EDPJs >= rs.EDPJs {
+		t.Errorf("tagless EDP %.3g not below SRAM-tag %.3g", rt.EDPJs, rs.EDPJs)
+	}
+}
+
+func TestRunFairnessMetrics(t *testing.T) {
+	o := quickOpts()
+	rows, err := RunFairness(o, "MIX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WeightedSpeedup <= 0 || r.WeightedSpeedup > 4 {
+			t.Errorf("%v: weighted speedup = %v out of (0,4]", r.Design, r.WeightedSpeedup)
+		}
+		if r.HarmonicSpeedup <= 0 || r.HarmonicSpeedup > 1.5 {
+			t.Errorf("%v: harmonic speedup = %v implausible", r.Design, r.HarmonicSpeedup)
+		}
+		if len(r.PerProgSlowdowns) != 4 {
+			t.Errorf("%v: per-program entries = %d", r.Design, len(r.PerProgSlowdowns))
+		}
+	}
+	if _, err := RunFairness(o, "MIX99"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
