@@ -10,8 +10,10 @@ package taglessdram
 // at full budget with markdown formatting.
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // benchOpts uses the calibrated full budgets; one benchmark iteration is a
@@ -343,6 +345,54 @@ func BenchmarkAblationMemoryWalk(b *testing.B) {
 		}
 		b.ReportMetric(r0.IPC, "IPC/fixed-walk")
 		b.ReportMetric(r1.IPC, "IPC/memory-walk")
+	}
+}
+
+// BenchmarkSweepParallelVsSerial measures the sweep engine on a 10-job
+// design grid at -j 1/2/4, reporting jobs/sec and the speedup over the
+// serial path (1.0 by construction for j=1; near-linear on multicore
+// hardware, ~1.0 on a single-CPU runner). Parallel results are
+// bit-identical to serial ones — see TestParallelSweepMatchesSerial.
+func BenchmarkSweepParallelVsSerial(b *testing.B) {
+	o := DefaultOptions()
+	o.Warmup, o.Measure = 100_000, 100_000
+	var jobs []Job
+	for _, wl := range []string{"sphinx3", "libquantum"} {
+		for _, d := range Designs() {
+			jobs = append(jobs, Job{Design: d, Workload: wl, Options: o})
+		}
+	}
+	var serialPer time.Duration
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(context.Background(), jobs, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			per := b.Elapsed() / time.Duration(b.N)
+			if w == 1 {
+				serialPer = per
+			}
+			b.ReportMetric(float64(len(jobs))/per.Seconds(), "jobs/s")
+			if serialPer > 0 && per > 0 {
+				b.ReportMetric(serialPer.Seconds()/per.Seconds(), "speedup-vs-j1")
+			}
+		})
+	}
+}
+
+// BenchmarkSingleRun is the allocation and latency baseline for one
+// isolated simulation — the unit of work every sweep job performs. Run
+// with -benchmem to track the per-job allocation footprint.
+func BenchmarkSingleRun(b *testing.B) {
+	o := DefaultOptions()
+	o.Warmup, o.Measure = 100_000, 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Tagless, "sphinx3", o); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

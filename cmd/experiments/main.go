@@ -5,6 +5,8 @@
 //	go run ./cmd/experiments            # everything, default budgets
 //	go run ./cmd/experiments -only fig7,fig8
 //	go run ./cmd/experiments -quick     # 4x smaller instruction budgets
+//	go run ./cmd/experiments -j 8       # up to 8 concurrent simulations
+//	go run ./cmd/experiments -j 1       # strictly serial sweeps
 package main
 
 import (
@@ -12,7 +14,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"taglessdram"
 	"taglessdram/internal/textplot"
@@ -23,12 +27,24 @@ func main() {
 		only  = flag.String("only", "", "comma-separated subset: table1,table2,table6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,shared,hotfilter,superpages,tlbreach,fairness,amat")
 		quick = flag.Bool("quick", false, "4x smaller instruction budgets")
 		seed  = flag.Uint64("seed", 1, "trace seed")
+		nj    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = serial); results are identical at any width")
+		prog  = flag.Bool("progress", false, "print per-sweep progress and ETA to stderr")
 	)
 	flag.BoolVar(&plotBars, "plot", false, "render normalized-IPC bar charts under each figure")
 	flag.Parse()
 
 	o := taglessdram.DefaultOptions()
 	o.Seed = *seed
+	o.Workers = *nj
+	if *prog {
+		o.Progress = func(p taglessdram.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d sims (elapsed %s, eta %s)   ",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *quick {
 		o.Warmup /= 4
 		o.Measure /= 4

@@ -1,12 +1,14 @@
 package taglessdram
 
 import (
+	"context"
 	"fmt"
 
 	"taglessdram/internal/amat"
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
 	"taglessdram/internal/stats"
+	"taglessdram/internal/sweep"
 	"taglessdram/internal/system"
 	"taglessdram/internal/trace"
 )
@@ -27,18 +29,23 @@ type DesignRow struct {
 	VictimHitRate float64 // tagless: victim hits / cTLB misses
 }
 
-// runAcrossDesigns measures all five designs for one workload.
-func runAcrossDesigns(workload string, o Options) ([]DesignRow, error) {
+// designRows assembles one workload's DesignRow block from its per-design
+// results (res[i] is designs[i]'s run). The NoL3 baseline is located
+// wherever it sits in the design list; a design set without it is an
+// error, since every normalized column needs the baseline.
+func designRows(workload string, designs []Design, res []*Result) ([]DesignRow, error) {
 	var base *Result
-	var rows []DesignRow
-	for _, d := range Designs() {
-		r, err := Run(d, workload, o)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", workload, d, err)
-		}
+	for i, d := range designs {
 		if d == NoL3 {
-			base = r
+			base = res[i]
 		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("taglessdram: %s: design set %v has no NoL3 baseline run", workload, designs)
+	}
+	rows := make([]DesignRow, 0, len(designs))
+	for i, d := range designs {
+		r := res[i]
 		row := DesignRow{
 			Workload:     workload,
 			Design:       d,
@@ -49,10 +56,10 @@ func runAcrossDesigns(workload string, o Options) ([]DesignRow, error) {
 			OffPkgGB:     float64(r.OffPkgBytes) / 1e9,
 			TLBMissRate:  r.TLBMissRate,
 		}
-		if base != nil && base.IPC > 0 {
+		if base.IPC > 0 {
 			row.NormIPC = r.IPC / base.IPC
 		}
-		if base != nil && base.EDPJs > 0 {
+		if base.EDPJs > 0 {
 			row.NormEDP = r.EDPJs / base.EDPJs
 		}
 		if d == Tagless && r.Ctrl.Walks > 0 {
@@ -66,18 +73,41 @@ func runAcrossDesigns(workload string, o Options) ([]DesignRow, error) {
 	return rows, nil
 }
 
-// RunFigure7 reproduces Figure 7: normalized IPC and EDP of the 11
-// single-programmed SPEC workloads under every design.
-func RunFigure7(o Options) ([]DesignRow, error) {
+// runDesignGrid sweeps the full (workload × design) grid concurrently and
+// returns the rows in the serial order: all designs of workloads[0], then
+// workloads[1], and so on.
+func runDesignGrid(workloads []string, o Options) ([]DesignRow, error) {
+	designs := Designs()
+	jobs := make([]Job, 0, len(workloads)*len(designs))
+	for _, wl := range workloads {
+		for _, d := range designs {
+			jobs = append(jobs, Job{Design: d, Workload: wl, Options: o})
+		}
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var out []DesignRow
-	for _, wl := range SPECWorkloads() {
-		rows, err := runAcrossDesigns(wl, o)
+	for wi, wl := range workloads {
+		rows, err := designRows(wl, designs, res[wi*len(designs):(wi+1)*len(designs)])
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, rows...)
 	}
 	return out, nil
+}
+
+// runAcrossDesigns measures all five designs for one workload.
+func runAcrossDesigns(workload string, o Options) ([]DesignRow, error) {
+	return runDesignGrid([]string{workload}, o)
+}
+
+// RunFigure7 reproduces Figure 7: normalized IPC and EDP of the 11
+// single-programmed SPEC workloads under every design.
+func RunFigure7(o Options) ([]DesignRow, error) {
+	return runDesignGrid(SPECWorkloads(), o)
 }
 
 // Fig8Row is one workload's average L3 access time under the two tag
@@ -92,16 +122,20 @@ type Fig8Row struct {
 // RunFigure8 reproduces Figure 8: average L3 access latency of the
 // SRAM-tag and tagless caches over the SPEC workloads.
 func RunFigure8(o Options) ([]Fig8Row, error) {
+	wls := SPECWorkloads()
+	jobs := make([]Job, 0, 2*len(wls))
+	for _, wl := range wls {
+		jobs = append(jobs,
+			Job{Design: SRAMTag, Workload: wl, Options: o},
+			Job{Design: Tagless, Workload: wl, Options: o})
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig8Row
-	for _, wl := range SPECWorkloads() {
-		rs, err := Run(SRAMTag, wl, o)
-		if err != nil {
-			return nil, err
-		}
-		rt, err := Run(Tagless, wl, o)
-		if err != nil {
-			return nil, err
-		}
+	for i, wl := range wls {
+		rs, rt := res[2*i], res[2*i+1]
 		row := Fig8Row{Workload: wl, SRAMTagLat: rs.AvgL3Latency, TaglessLat: rt.AvgL3Latency}
 		if rs.AvgL3Latency > 0 {
 			row.ReductionPC = (rs.AvgL3Latency - rt.AvgL3Latency) / rs.AvgL3Latency * 100
@@ -113,15 +147,7 @@ func RunFigure8(o Options) ([]Fig8Row, error) {
 
 // RunFigure9 reproduces Figure 9: normalized IPC and EDP of MIX1–MIX8.
 func RunFigure9(o Options) ([]DesignRow, error) {
-	var out []DesignRow
-	for _, wl := range MixWorkloads() {
-		rows, err := runAcrossDesigns(wl, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
-	}
-	return out, nil
+	return runDesignGrid(MixWorkloads(), o)
 }
 
 // Fig10Row is one (mix, cache size) IPC pair normalized to the
@@ -141,30 +167,36 @@ func RunFigure10(o Options, mixes []string) ([]Fig10Row, error) {
 		mixes = MixWorkloads()
 	}
 	sizes := []int64{4, 8, 16} // MB at shift 6 == 256MB/512MB/1GB at paper scale
-	var out []Fig10Row
+	type cell struct {
+		wl string
+		mb int64
+	}
+	var cells []cell
+	var jobs []Job
 	for _, wl := range mixes {
 		for _, mb := range sizes {
 			oSize := o
 			oSize.CacheMB = mb
-			bi, err := Run(BankInterleave, wl, oSize)
-			if err != nil {
-				return nil, err
-			}
-			sr, err := Run(SRAMTag, wl, oSize)
-			if err != nil {
-				return nil, err
-			}
-			ct, err := Run(Tagless, wl, oSize)
-			if err != nil {
-				return nil, err
-			}
-			row := Fig10Row{Workload: wl, CacheMB: mb, BIBaseIPC: bi.IPC}
-			if bi.IPC > 0 {
-				row.SRAMNorm = sr.IPC / bi.IPC
-				row.CTLBNorm = ct.IPC / bi.IPC
-			}
-			out = append(out, row)
+			cells = append(cells, cell{wl, mb})
+			jobs = append(jobs,
+				Job{Design: BankInterleave, Workload: wl, Options: oSize},
+				Job{Design: SRAMTag, Workload: wl, Options: oSize},
+				Job{Design: Tagless, Workload: wl, Options: oSize})
 		}
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig10Row
+	for i, c := range cells {
+		bi, sr, ct := res[3*i], res[3*i+1], res[3*i+2]
+		row := Fig10Row{Workload: c.wl, CacheMB: c.mb, BIBaseIPC: bi.IPC}
+		if bi.IPC > 0 {
+			row.SRAMNorm = sr.IPC / bi.IPC
+			row.CTLBNorm = ct.IPC / bi.IPC
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }
@@ -187,26 +219,22 @@ func RunFigure11(o Options, mixes []string) ([]Fig11Row, error) {
 	if len(mixes) == 0 {
 		mixes = MixWorkloads()
 	}
-	var out []Fig11Row
+	policies := []config.ReplacementPolicy{FIFO, LRU, CLOCK}
+	var jobs []Job
 	for _, wl := range mixes {
-		of := o
-		of.Policy = FIFO
-		rf, err := Run(Tagless, wl, of)
-		if err != nil {
-			return nil, err
+		for _, p := range policies {
+			op := o
+			op.Policy = p
+			jobs = append(jobs, Job{Design: Tagless, Workload: wl, Options: op})
 		}
-		ol := o
-		ol.Policy = LRU
-		rl, err := Run(Tagless, wl, ol)
-		if err != nil {
-			return nil, err
-		}
-		oc := o
-		oc.Policy = CLOCK
-		rc, err := Run(Tagless, wl, oc)
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11Row
+	for i, wl := range mixes {
+		rf, rl, rc := res[3*i], res[3*i+1], res[3*i+2]
 		row := Fig11Row{Workload: wl, FIFOIPC: rf.IPC, LRUIPC: rl.IPC, CLOCKIPC: rc.IPC}
 		if rf.IPC > 0 {
 			row.LRUGain = rl.IPC/rf.IPC - 1
@@ -220,15 +248,7 @@ func RunFigure11(o Options, mixes []string) ([]Fig11Row, error) {
 // RunFigure12 reproduces Figure 12: the four PARSEC multi-threaded
 // workloads across designs.
 func RunFigure12(o Options) ([]DesignRow, error) {
-	var out []DesignRow
-	for _, wl := range PARSECWorkloads() {
-		rows, err := runAcrossDesigns(wl, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
-	}
-	return out, nil
+	return runDesignGrid(PARSECWorkloads(), o)
 }
 
 // Fig13Row is the non-cacheable-pages case study (Figure 13).
@@ -245,16 +265,16 @@ type Fig13Row struct {
 // RunFigure13 reproduces Figure 13: marking low-reuse pages non-cacheable
 // for GemsFDTD (the paper's threshold is 32 accesses).
 func RunFigure13(o Options) (Fig13Row, error) {
-	base, err := Run(Tagless, "GemsFDTD", o)
-	if err != nil {
-		return Fig13Row{}, err
-	}
 	onc := o
 	onc.NCAccessThreshold = 32
-	nc, err := Run(Tagless, "GemsFDTD", onc)
+	res, err := runJobs(o, []Job{
+		{Design: Tagless, Workload: "GemsFDTD", Options: o},
+		{Design: Tagless, Workload: "GemsFDTD", Options: onc},
+	})
 	if err != nil {
 		return Fig13Row{}, err
 	}
+	base, nc := res[0], res[1]
 	row := Fig13Row{
 		Workload:    "GemsFDTD",
 		BaseIPC:     base.IPC,
@@ -287,16 +307,16 @@ type Table1Row struct {
 // cache. Pending-update waits require concurrent threads faulting on one
 // page and may legitimately be absent.
 func RunTable1(o Options) ([]Table1Row, error) {
-	r, err := Run(Tagless, "mcf", o)
-	if err != nil {
-		return nil, err
-	}
 	onc := o
 	onc.NCAccessThreshold = 32
-	rnc, err := Run(Tagless, "mcf", onc)
+	res, err := runJobs(o, []Job{
+		{Design: Tagless, Workload: "mcf", Options: o},
+		{Design: Tagless, Workload: "mcf", Options: onc},
+	})
 	if err != nil {
 		return nil, err
 	}
+	r, rnc := res[0], res[1]
 	mk := func(r *Result, k core.MissKind) (float64, uint64) {
 		return r.MissKindMean[k], r.MissKindCount[k]
 	}
@@ -337,16 +357,19 @@ func RunTable2(o Options, workload string) ([]Table2Row, error) {
 	if workload == "" {
 		workload = "MIX3"
 	}
-	base, err := Run(NoL3, workload, o)
+	designs := []Design{AlloyBlock, SRAMTag, Tagless}
+	jobs := []Job{{Design: NoL3, Workload: workload, Options: o}}
+	for _, d := range designs {
+		jobs = append(jobs, Job{Design: d, Workload: workload, Options: o})
+	}
+	res, err := runJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
+	base := res[0]
 	var out []Table2Row
-	for _, d := range []Design{AlloyBlock, SRAMTag, Tagless} {
-		r, err := Run(d, workload, o)
-		if err != nil {
-			return nil, err
-		}
+	for i, d := range designs {
+		r := res[i+1]
 		row := Table2Row{
 			Design:       d,
 			L3HitRate:    r.L3HitRate,
@@ -405,16 +428,19 @@ func RunAMATCheck(o Options, workloads []string) ([]AMATRow, error) {
 	}
 	cfg := configFor(SRAMTag, o)
 	tag := config.TagParamsFor(cfg.CacheSize)
-	var out []AMATRow
+	jobs := make([]Job, 0, 2*len(workloads))
 	for _, wl := range workloads {
-		rs, err := Run(SRAMTag, wl, o)
-		if err != nil {
-			return nil, err
-		}
-		rt, err := Run(Tagless, wl, o)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			Job{Design: SRAMTag, Workload: wl, Options: o},
+			Job{Design: Tagless, Workload: wl, Options: o})
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []AMATRow
+	for i, wl := range workloads {
+		rs, rt := res[2*i], res[2*i+1]
 		accesses := float64(rt.TLBLookups)
 		if accesses == 0 {
 			continue
@@ -487,7 +513,19 @@ func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow,
 	if sharedFrac <= 0 {
 		sharedFrac = 0.15
 	}
-	build := func(design Design, alias bool) (*Result, error) {
+	type variant struct {
+		name   string
+		design Design
+		alias  bool
+	}
+	variants := []variant{
+		{"SRAM (PA indexing shares naturally)", SRAMTag, false},
+		{"cTLB (shared pages non-cacheable)", Tagless, false},
+		{"cTLB (PA->CA alias table)", Tagless, true},
+	}
+	// These runs need a modified workload (per-core shared fractions), so
+	// they go straight to the generic engine rather than through Job/Run.
+	res, err := sweep.Run(context.Background(), variants, func(_ context.Context, v variant) (*Result, error) {
 		w, err := system.Mix(mix, o.Shift, o.Seed)
 		if err != nil {
 			return nil, err
@@ -496,8 +534,8 @@ func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow,
 			w.PerCore[i].SharedFrac = sharedFrac
 		}
 		oo := o
-		oo.SharedAliasTable = alias
-		cfg := configFor(design, oo)
+		oo.SharedAliasTable = v.alias
+		cfg := configFor(v.design, oo)
 		m, err := system.New(cfg, w)
 		if err != nil {
 			return nil, err
@@ -506,23 +544,18 @@ func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow,
 		if warm == 0 {
 			warm = oo.Measure
 		}
-		return m.Run(warm, oo.Measure)
-	}
-	var rows []SharedPageRow
-	type variant struct {
-		name   string
-		design Design
-		alias  bool
-	}
-	for _, v := range []variant{
-		{"SRAM (PA indexing shares naturally)", SRAMTag, false},
-		{"cTLB (shared pages non-cacheable)", Tagless, false},
-		{"cTLB (PA->CA alias table)", Tagless, true},
-	} {
-		r, err := build(v.design, v.alias)
+		r, err := m.Run(warm, oo.Measure)
 		if err != nil {
 			return nil, fmt.Errorf("shared-page study %s: %w", v.name, err)
 		}
+		return r, nil
+	}, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	var rows []SharedPageRow
+	for i, v := range variants {
+		r := res[i]
 		row := SharedPageRow{
 			Config:     v.name,
 			IPC:        r.IPC,
@@ -566,14 +599,19 @@ func RunHotFilter(o Options, workload string, thresholds []int) ([]HotFilterRow,
 	if len(thresholds) == 0 {
 		thresholds = []int{0, 4, 16, 64}
 	}
-	var rows []HotFilterRow
+	jobs := make([]Job, 0, len(thresholds))
 	for _, th := range thresholds {
 		oo := o
 		oo.HotFilterThreshold = th
-		r, err := Run(Tagless, workload, oo)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{Design: Tagless, Workload: workload, Options: oo})
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []HotFilterRow
+	for i, th := range thresholds {
+		r := res[i]
 		rows = append(rows, HotFilterRow{
 			Threshold:  th,
 			IPC:        r.IPC,
@@ -607,18 +645,21 @@ func RunSuperpages(o Options, workloads []string) ([]SuperpageRow, error) {
 		// pointer-chasing program with poor within-region locality.
 		workloads = []string{"lbm", "mcf", "GemsFDTD"}
 	}
-	var rows []SuperpageRow
+	osp := o
+	osp.Superpages = true
+	jobs := make([]Job, 0, 2*len(workloads))
 	for _, wl := range workloads {
-		base, err := Run(Tagless, wl, o)
-		if err != nil {
-			return nil, err
-		}
-		osp := o
-		osp.Superpages = true
-		sp, err := Run(Tagless, wl, osp)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			Job{Design: Tagless, Workload: wl, Options: o},
+			Job{Design: Tagless, Workload: wl, Options: osp})
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SuperpageRow
+	for i, wl := range workloads {
+		base, sp := res[2*i], res[2*i+1]
 		rows = append(rows,
 			SuperpageRow{Workload: wl, Config: "4KB pages", IPC: base.IPC,
 				TLBMissRate: base.TLBMissRate, OffPkgGB: float64(base.OffPkgBytes) / 1e9,
@@ -653,14 +694,19 @@ func RunTLBReach(o Options, workload string, entries []int) ([]TLBReachRow, erro
 	if len(entries) == 0 {
 		entries = []int{128, 256, 512, 1024}
 	}
-	var rows []TLBReachRow
+	jobs := make([]Job, 0, len(entries))
 	for _, n := range entries {
 		oo := o
 		oo.L2TLBEntries = n
-		r, err := Run(Tagless, workload, oo)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{Design: Tagless, Workload: workload, Options: oo})
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TLBReachRow
+	for i, n := range entries {
+		r := res[i]
 		row := TLBReachRow{
 			L2TLBEntries: n,
 			IPC:          r.IPC,
@@ -698,36 +744,63 @@ func RunFairness(o Options, mix string) ([]FairnessRow, error) {
 	if !ok {
 		return nil, fmt.Errorf("taglessdram: unknown mix %q", mix)
 	}
-	var rows []FairnessRow
-	for _, d := range []Design{NoL3, SRAMTag, Tagless} {
-		mixRes, err := Run(d, mix, o)
+	designs := []Design{NoL3, SRAMTag, Tagless}
+	mixJobs := make([]Job, len(designs))
+	for i, d := range designs {
+		mixJobs[i] = Job{Design: d, Workload: mix, Options: o}
+	}
+	mixRes, err := runJobs(o, mixJobs)
+	if err != nil {
+		return nil, err
+	}
+	// Alone runs: every program of the mix on a single core, per design.
+	// These build a one-core workload directly, so they use the generic
+	// engine; the (design, program) grid is flattened into one sweep.
+	type aloneJob struct {
+		design Design
+		idx    int
+		prog   string
+	}
+	var alones []aloneJob
+	for _, d := range designs {
+		for i, prog := range progs {
+			alones = append(alones, aloneJob{d, i, prog})
+		}
+	}
+	aloneRes, err := sweep.Run(context.Background(), alones, func(_ context.Context, j aloneJob) (*Result, error) {
+		w, err := system.SingleProgramOn(j.prog, 1, o.Shift, o.Seed+uint64(j.idx)*7919)
 		if err != nil {
 			return nil, err
 		}
-		row := FairnessRow{Design: d, MixIPC: mixRes.IPC}
+		cfg := configFor(j.design, o)
+		m, err := system.New(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		warm := o.Warmup
+		if warm == 0 {
+			warm = o.Measure
+		}
+		r, err := m.Run(warm, o.Measure)
+		if err != nil {
+			return nil, fmt.Errorf("%s alone/%v: %w", j.prog, j.design, err)
+		}
+		return r, nil
+	}, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	var rows []FairnessRow
+	for di, d := range designs {
+		mr := mixRes[di]
+		row := FairnessRow{Design: d, MixIPC: mr.IPC}
 		var invSum float64
-		for i, prog := range progs {
-			w, err := system.SingleProgramOn(prog, 1, o.Shift, o.Seed+uint64(i)*7919)
-			if err != nil {
-				return nil, err
-			}
-			cfg := configFor(d, o)
-			m, err := system.New(cfg, w)
-			if err != nil {
-				return nil, err
-			}
-			warm := o.Warmup
-			if warm == 0 {
-				warm = o.Measure
-			}
-			alone, err := m.Run(warm, o.Measure)
-			if err != nil {
-				return nil, err
-			}
-			if i >= len(mixRes.PerCoreIPC) || alone.IPC == 0 {
+		for i := range progs {
+			alone := aloneRes[di*len(progs)+i]
+			if i >= len(mr.PerCoreIPC) || alone.IPC == 0 {
 				continue
 			}
-			s := mixRes.PerCoreIPC[i] / alone.IPC
+			s := mr.PerCoreIPC[i] / alone.IPC
 			row.WeightedSpeedup += s
 			if s > 0 {
 				invSum += 1 / s

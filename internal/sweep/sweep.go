@@ -1,0 +1,207 @@
+// Package sweep is a bounded-concurrency worker pool for design-space
+// exploration: it fans a slice of independent, deterministic jobs out
+// across a fixed number of goroutines and returns their results in
+// submission order, regardless of completion order.
+//
+// The engine makes three guarantees the figure/table runners depend on:
+//
+//   - Ordering: Results[i] always corresponds to jobs[i], so a parallel
+//     sweep is a drop-in replacement for a serial loop and regenerated
+//     tables keep their row order bit-identical.
+//   - First-error-wins cancellation: the first job to fail cancels the
+//     sweep; queued jobs are skipped, in-flight jobs finish, and the
+//     error reported is the failing job with the lowest index (so the
+//     reported error is deterministic even when completion order is not).
+//   - Panic isolation: a panicking job cannot kill the sweep. The panic
+//     is captured with its stack and surfaced as that job's *PanicError.
+//
+// Jobs must not share mutable state; each job constructs its own
+// simulation object graph. That invariant is what makes a parallel sweep
+// produce bit-identical metrics to the serial path.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// PanicError is the error reported for a job that panicked.
+type PanicError struct {
+	// Job is the index of the panicking job in the submitted slice.
+	Job int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: job %d panicked: %v", e.Job, e.Value)
+}
+
+// Progress is a snapshot of a running sweep, passed to Options.OnProgress
+// after every job completes.
+type Progress struct {
+	// Done counts completed jobs (successful or failed, not skipped).
+	Done int
+	// Total is the number of submitted jobs.
+	Total int
+	// Elapsed is the wall-clock time since the sweep started.
+	Elapsed time.Duration
+	// ETA extrapolates the remaining wall-clock time from the mean job
+	// duration so far (zero once the sweep finishes).
+	ETA time.Duration
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Workers bounds the number of concurrent jobs. Zero means
+	// runtime.GOMAXPROCS(0); one runs the jobs serially on the calling
+	// goroutine; the effective value never exceeds the job count.
+	Workers int
+	// OnProgress, when non-nil, is called after every job completes. The
+	// calls are serialized (never concurrent with each other), but they
+	// happen on worker goroutines, so the callback must not assume any
+	// particular goroutine.
+	OnProgress func(Progress)
+}
+
+// workers resolves the effective worker count for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn over every job with at most Options.Workers in flight
+// and returns the results in submission order. On error it returns the
+// partial results together with the lowest-index job error; jobs that
+// were skipped by cancellation keep their zero-value result.
+func Run[J, R any](ctx context.Context, jobs []J, fn func(context.Context, J) (R, error), opt Options) ([]R, error) {
+	results := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	s := &state[J, R]{
+		jobs:    jobs,
+		fn:      fn,
+		results: results,
+		errs:    make([]error, len(jobs)),
+		opt:     opt,
+		start:   time.Now(),
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.cancel = cancel
+
+	if w := opt.workers(len(jobs)); w == 1 {
+		s.serial(ctx)
+	} else {
+		s.parallel(ctx, w)
+	}
+
+	// Deterministic error selection: the lowest-index failing job wins,
+	// whatever the completion order was.
+	for _, err := range s.errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// state carries one sweep's shared bookkeeping.
+type state[J, R any] struct {
+	jobs    []J
+	fn      func(context.Context, J) (R, error)
+	results []R
+	errs    []error
+	opt     Options
+	cancel  context.CancelFunc
+	start   time.Time
+
+	mu   sync.Mutex
+	done int
+}
+
+// runOne executes job i with panic recovery and records its outcome.
+func (s *state[J, R]) runOne(ctx context.Context, i int) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.errs[i] = &PanicError{Job: i, Value: v, Stack: debug.Stack()}
+			s.cancel()
+		}
+		s.progress()
+	}()
+	r, err := s.fn(ctx, s.jobs[i])
+	if err != nil {
+		s.errs[i] = err
+		s.cancel()
+		return
+	}
+	s.results[i] = r
+}
+
+// progress bumps the completion count and notifies the callback.
+func (s *state[J, R]) progress() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done++
+	if s.opt.OnProgress == nil {
+		return
+	}
+	p := Progress{Done: s.done, Total: len(s.jobs), Elapsed: time.Since(s.start)}
+	if rest := p.Total - p.Done; rest > 0 && p.Done > 0 {
+		p.ETA = p.Elapsed / time.Duration(p.Done) * time.Duration(rest)
+	}
+	s.opt.OnProgress(p)
+}
+
+// serial runs the jobs on the calling goroutine ( -j 1 ).
+func (s *state[J, R]) serial(ctx context.Context) {
+	for i := range s.jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		s.runOne(ctx, i)
+	}
+}
+
+// parallel fans the jobs out over w worker goroutines.
+func (s *state[J, R]) parallel(ctx context.Context, w int) {
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				// Cancellation skips queued jobs; in-flight jobs finish.
+				if ctx.Err() != nil {
+					continue
+				}
+				s.runOne(ctx, i)
+			}
+		}()
+	}
+	for i := range s.jobs {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+}

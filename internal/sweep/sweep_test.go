@@ -1,0 +1,341 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderPreserved forces out-of-order completion (early jobs sleep the
+// longest) and checks results still land at their submission index.
+func TestOrderPreserved(t *testing.T) {
+	const n = 24
+	jobs := make([]int, n)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	got, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		time.Sleep(time.Duration(n-j) * time.Millisecond)
+		return j * j, nil
+	}, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+// TestSerialMatchesParallel runs the same pure jobs at several widths and
+// expects identical result slices.
+func TestSerialMatchesParallel(t *testing.T) {
+	jobs := make([]int, 50)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	fn := func(_ context.Context, j int) (int, error) { return 3*j + 1, nil }
+	serial, err := Run(context.Background(), jobs, fn, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		par, err := Run(context.Background(), jobs, fn, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestFirstErrorWinsSerial checks that on the serial path an error stops
+// the sweep: later jobs never run.
+func TestFirstErrorWinsSerial(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	jobs := []int{0, 1, 2, 3, 4}
+	_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		ran.Add(1)
+		if j == 2 {
+			return 0, boom
+		}
+		return j, nil
+	}, Options{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d jobs after serial error, want 3", got)
+	}
+}
+
+// TestErrorCancelsQueuedParallel wedges the pool with blocking jobs, fails
+// one, and checks the queued remainder is skipped while in-flight jobs
+// complete.
+func TestErrorCancelsQueuedParallel(t *testing.T) {
+	boom := errors.New("boom")
+	const workers = 2
+	const n = 16
+	jobs := make([]int, n)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	release := make(chan struct{})
+	var ran atomic.Int32
+	results, err := Run(context.Background(), jobs, func(ctx context.Context, j int) (int, error) {
+		ran.Add(1)
+		if j == 0 {
+			// Fail once the other worker has reached job 1.
+			<-release
+			return 0, boom
+		}
+		if j == 1 {
+			release <- struct{}{}
+			return 100, nil
+		}
+		// Any job that squeezed in before the cancel landed must observe
+		// the cancellation promptly.
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Second):
+			t.Errorf("job %d never saw the sweep cancellation", j)
+		}
+		return j, nil
+	}, Options{Workers: workers})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Jobs 0 and 1 ran; everything still queued at cancellation was
+	// skipped. A worker may have already pulled one more index before the
+	// cancel landed, so allow a small overshoot but not a full sweep.
+	if got := ran.Load(); got < 2 || got > 2+workers {
+		t.Fatalf("ran %d jobs, want 2..%d", got, 2+workers)
+	}
+	// In-flight successes are kept even when the sweep errors.
+	if results[1] != 100 {
+		t.Fatalf("results[1] = %d, want 100 (in-flight job must finish)", results[1])
+	}
+}
+
+// TestLowestIndexErrorWins completes two failing jobs in reverse order and
+// expects the lower-index error to be reported.
+func TestLowestIndexErrorWins(t *testing.T) {
+	errA := errors.New("job 0 failed")
+	errB := errors.New("job 1 failed")
+	first := make(chan struct{})
+	_, err := Run(context.Background(), []int{0, 1}, func(_ context.Context, j int) (int, error) {
+		if j == 1 {
+			defer close(first)
+			return 0, errB // fails first in time…
+		}
+		<-first
+		return 0, errA // …but job 0's error must win.
+	}, Options{Workers: 2})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errA)
+	}
+}
+
+// TestPanicCaptured turns a panicking job into that job's error without
+// killing the sweep or the process.
+func TestPanicCaptured(t *testing.T) {
+	jobs := []int{0, 1, 2, 3}
+	_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		if j == 1 {
+			panic("simulated simulator bug")
+		}
+		return j, nil
+	}, Options{Workers: 2})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != 1 {
+		t.Errorf("PanicError.Job = %d, want 1", pe.Job)
+	}
+	if pe.Value != "simulated simulator bug" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty")
+	}
+	if want := "sweep: job 1 panicked: simulated simulator bug"; pe.Error() != want {
+		t.Errorf("Error() = %q, want %q", pe.Error(), want)
+	}
+}
+
+// TestParentCancellation skips every job when the context is already
+// canceled.
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	for _, w := range []int{1, 4} {
+		_, err := Run(ctx, []int{0, 1, 2}, func(_ context.Context, j int) (int, error) {
+			ran.Add(1)
+			return j, nil
+		}, Options{Workers: w})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a canceled context", ran.Load())
+	}
+}
+
+// TestProgressCounts checks the callback fires once per completed job,
+// serialized, with monotonically increasing Done and a constant Total.
+func TestProgressCounts(t *testing.T) {
+	const n = 20
+	jobs := make([]int, n)
+	var mu sync.Mutex
+	var dones []int
+	_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		return j, nil
+	}, Options{Workers: 4, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p.Total != n {
+			t.Errorf("Total = %d, want %d", p.Total, n)
+		}
+		dones = append(dones, p.Done)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != n {
+		t.Fatalf("progress fired %d times, want %d", len(dones), n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("dones[%d] = %d, want %d (must be serialized and monotonic)", i, d, i+1)
+		}
+	}
+}
+
+// TestProgressETA checks the ETA extrapolation is sane mid-sweep and zero
+// at the end.
+func TestProgressETA(t *testing.T) {
+	var last Progress
+	_, err := Run(context.Background(), []int{0, 1, 2, 3}, func(_ context.Context, j int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return j, nil
+	}, Options{Workers: 1, OnProgress: func(p Progress) {
+		if p.Done < p.Total && p.ETA <= 0 {
+			t.Errorf("ETA = %v at %d/%d, want > 0", p.ETA, p.Done, p.Total)
+		}
+		last = p
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+	if last.Elapsed <= 0 {
+		t.Errorf("final Elapsed = %v, want > 0", last.Elapsed)
+	}
+}
+
+// TestConcurrencyBound verifies the pool never exceeds Workers in-flight
+// jobs and actually reaches that width when jobs block.
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 3
+	const n = 12
+	var cur, peak atomic.Int32
+	jobs := make([]int, n)
+	_, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return j, nil
+	}, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("peak concurrency %d; expected the pool to overlap jobs", p)
+	}
+}
+
+// TestWorkerResolution covers the Workers defaulting rules.
+func TestWorkerResolution(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		n    int
+		want int
+	}{
+		{Options{Workers: 4}, 2, 2},  // clamped to job count
+		{Options{Workers: 4}, 10, 4}, // explicit limit honored
+		{Options{Workers: -3}, 5, 0}, // defaulted (exact value machine-dependent)
+		{Options{}, 0, 0},
+	}
+	for _, c := range cases {
+		got := c.opt.workers(c.n)
+		if c.want != 0 && got != c.want {
+			t.Errorf("workers(%d) with limit %d = %d, want %d", c.n, c.opt.Workers, got, c.want)
+		}
+		if got < 1 || (c.n > 0 && got > max(c.n, 1) && c.opt.Workers > 0) {
+			t.Errorf("workers(%d) with limit %d = %d out of range", c.n, c.opt.Workers, got)
+		}
+	}
+}
+
+// TestEmptyJobs returns immediately with an empty result slice.
+func TestEmptyJobs(t *testing.T) {
+	got, err := Run(context.Background(), nil, func(_ context.Context, j int) (int, error) {
+		return j, nil
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("len(results) = %d, want 0", len(got))
+	}
+}
+
+// TestErrorIsPartialResults documents that a failed sweep still returns
+// the slice with every completed job's result in place.
+func TestErrorIsPartialResults(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []int{0, 1, 2}
+	got, err := Run(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		if j == 2 {
+			return 0, boom
+		}
+		return j + 10, nil
+	}, Options{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got[0] != 10 || got[1] != 11 {
+		t.Fatalf("partial results = %v, want completed prefix kept", got)
+	}
+}
+
+func ExampleRun() {
+	squares, err := Run(context.Background(), []int{1, 2, 3, 4},
+		func(_ context.Context, j int) (int, error) { return j * j, nil },
+		Options{Workers: 2})
+	fmt.Println(squares, err)
+	// Output: [1 4 9 16] <nil>
+}

@@ -1,0 +1,56 @@
+package taglessdram
+
+import (
+	"context"
+	"fmt"
+
+	"taglessdram/internal/sweep"
+)
+
+// Job names one simulation of a sweep: a cache design, a workload and the
+// options to run it under.
+type Job struct {
+	Design   Design
+	Workload string
+	Options  Options
+}
+
+// SweepProgress is the snapshot passed to Options.Progress after each
+// simulation of a sweep completes: jobs done out of total, elapsed wall
+// time and an extrapolated ETA.
+type SweepProgress = sweep.Progress
+
+// Sweep runs every job with at most `workers` simulations in flight
+// (0 = runtime.GOMAXPROCS(0), 1 = serial) and returns one Result per job
+// in submission order, regardless of completion order. Each job builds a
+// fully isolated simulation, so a parallel sweep produces bit-identical
+// metrics to running the same jobs serially. The first job to fail
+// cancels the sweep: queued jobs are skipped, in-flight jobs finish, and
+// the lowest-index failure is returned. A panicking simulation surfaces
+// as that job's error instead of killing the sweep.
+func Sweep(ctx context.Context, jobs []Job, workers int) ([]*Result, error) {
+	return sweepRun(ctx, jobs, sweep.Options{Workers: workers})
+}
+
+// sweepRun maps Jobs onto the generic engine, tagging errors with the
+// failing (workload, design) pair.
+func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, error) {
+	return sweep.Run(ctx, jobs, func(_ context.Context, j Job) (*Result, error) {
+		r, err := Run(j.Design, j.Workload, j.Options)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)
+		}
+		return r, nil
+	}, opt)
+}
+
+// runJobs is the figure/table runners' shared entry point: the fan-out
+// width and progress callback come from the sweep's own Options.
+func runJobs(o Options, jobs []Job) ([]*Result, error) {
+	return sweepRun(context.Background(), jobs, o.sweepOptions())
+}
+
+// sweepOptions extracts the engine knobs from simulation options.
+func (o Options) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: o.Workers, OnProgress: o.Progress}
+}

@@ -106,6 +106,16 @@ type Options struct {
 	// MSHRs overrides the per-core outstanding-miss window (0 = the
 	// default 8), for memory-level-parallelism sensitivity studies.
 	MSHRs int
+	// Workers bounds how many simulations of a sweep (Sweep, or any
+	// RunFigureN/RunTableN grid) run concurrently: 0 = GOMAXPROCS,
+	// 1 = serial. It never changes a simulation's metrics — every job is
+	// fully isolated, so parallel and serial sweeps are bit-identical —
+	// and has no effect on a single Run.
+	Workers int
+	// Progress, when non-nil, is called after each simulation of a sweep
+	// completes (done/total counts, elapsed wall time, ETA). Calls are
+	// serialized but may come from worker goroutines.
+	Progress func(SweepProgress)
 }
 
 // DefaultOptions returns the experiments' standard scale: 64× shrink,
@@ -179,6 +189,9 @@ func workloadFor(name string, o Options) (system.Workload, error) {
 
 // Run simulates one (design, workload) pair and returns its metrics.
 func Run(design Design, workload string, o Options) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	w, err := workloadFor(workload, o)
 	if err != nil {
 		return nil, err
@@ -213,6 +226,9 @@ func (o Options) Validate() error {
 	}
 	if o.Shift > 10 {
 		return fmt.Errorf("taglessdram: Shift %d unreasonably large", o.Shift)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("taglessdram: Workers must be non-negative, got %d", o.Workers)
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package taglessdram
 
 import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -367,5 +371,110 @@ func TestRunFairnessMetrics(t *testing.T) {
 	}
 	if _, err := RunFairness(o, "MIX99"); err == nil {
 		t.Error("unknown mix accepted")
+	}
+}
+
+func TestRunRejectsInvalidOptions(t *testing.T) {
+	o := DefaultOptions()
+	o.Measure = 0
+	if _, err := Run(Tagless, "sphinx3", o); err == nil {
+		t.Error("Run accepted Measure = 0")
+	}
+	o = DefaultOptions()
+	o.Shift = 20
+	if _, err := Run(Tagless, "sphinx3", o); err == nil {
+		t.Error("Run accepted Shift = 20")
+	}
+	o = DefaultOptions()
+	o.Workers = -1
+	if _, err := Run(Tagless, "sphinx3", o); err == nil {
+		t.Error("Run accepted Workers = -1")
+	}
+}
+
+// TestParallelSweepMatchesSerial is the tentpole's determinism invariant:
+// an N-way parallel sweep must produce bit-identical rows to the serial
+// path for the same seeds, because every job builds an isolated machine.
+// Run under -race this also proves the jobs share no mutable state.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 60_000, 60_000
+	workloads := []string{"sphinx3", "libquantum"}
+
+	o.Workers = 1
+	serial, err := runDesignGrid(workloads, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	parallel, err := runDesignGrid(workloads, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers is part of Options (and so of each row's job options), but
+	// the rows themselves carry only metrics — compare them exactly.
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(serial) != len(workloads)*len(Designs()) {
+		t.Fatalf("rows = %d, want %d", len(serial), len(workloads)*len(Designs()))
+	}
+}
+
+// TestSweepFacade exercises the exported Sweep entry point: ordering,
+// error tagging with the failing (workload, design) pair, and the
+// isolation of per-job options.
+func TestSweepFacade(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 60_000, 60_000
+	oNC := o
+	oNC.NCAccessThreshold = 32
+	jobs := []Job{
+		{Design: NoL3, Workload: "sphinx3", Options: o},
+		{Design: Tagless, Workload: "sphinx3", Options: oNC},
+	}
+	res, err := Sweep(context.Background(), jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if res[0].IPC <= 0 || res[1].IPC <= 0 {
+		t.Fatalf("non-positive IPCs: %v, %v", res[0].IPC, res[1].IPC)
+	}
+
+	jobs = append(jobs, Job{Design: Tagless, Workload: "nosuchprogram", Options: o})
+	_, err = Sweep(context.Background(), jobs, 2)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "nosuchprogram/cTLB") {
+		t.Errorf("error %q does not name the failing job", err)
+	}
+}
+
+// TestSweepProgressThroughRunners checks the Options.Progress plumbing:
+// a figure runner reports one completion per simulation.
+func TestSweepProgressThroughRunners(t *testing.T) {
+	o := quickOpts()
+	o.Warmup, o.Measure = 60_000, 60_000
+	o.Workers = 2
+	var mu sync.Mutex
+	var calls []int
+	o.Progress = func(p SweepProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls = append(calls, p.Done)
+	}
+	entries := []int{128, 512}
+	if _, err := RunTLBReach(o, "mcf", entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(entries) {
+		t.Fatalf("progress fired %d times, want %d", len(calls), len(entries))
+	}
+	if calls[len(calls)-1] != len(entries) {
+		t.Fatalf("final Done = %d, want %d", calls[len(calls)-1], len(entries))
 	}
 }
