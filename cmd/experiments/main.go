@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"taglessdram"
+	"taglessdram/internal/prof"
 	"taglessdram/internal/textplot"
 )
 
@@ -31,7 +32,15 @@ func main() {
 		prog  = flag.Bool("progress", false, "print per-sweep progress and ETA to stderr")
 	)
 	flag.BoolVar(&plotBars, "plot", false, "render normalized-IPC bar charts under each figure")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	o := taglessdram.DefaultOptions()
 	o.Seed = *seed

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"taglessdram"
+	"taglessdram/internal/prof"
 )
 
 func main() {
@@ -32,8 +34,16 @@ func main() {
 		refresh  = flag.Bool("refresh", false, "model DRAM refresh blackouts")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		list     = flag.Bool("list", false, "list workloads and exit")
+		prog     = flag.Bool("progress", false, "print a wall-clock throughput summary to stderr")
 	)
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("SPEC (single-programmed):", strings.Join(taglessdram.SPECWorkloads(), " "))
@@ -47,6 +57,11 @@ func main() {
 		fatal(err)
 	}
 	o := taglessdram.DefaultOptions()
+	if *prog {
+		o.Progress = func(p taglessdram.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "throughput:      %s (%s wall)\n", p.Summary, p.Elapsed.Round(time.Millisecond))
+		}
+	}
 	o.Shift = *shift
 	o.Warmup, o.Measure = *warmup, *measure
 	o.Seed = *seed

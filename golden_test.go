@@ -1,0 +1,121 @@
+package taglessdram_test
+
+import (
+	"fmt"
+	"testing"
+
+	"taglessdram"
+)
+
+// fingerprint flattens every paper-relevant metric of a Result into one
+// string. Two runs are considered byte-identical exactly when their
+// fingerprints match. Throughput denominators (References, KernelEvents)
+// are deliberately excluded: they are wall-clock reporting aids, not
+// simulated metrics.
+func fingerprint(r *taglessdram.Result) string {
+	return fmt.Sprintf("cyc=%d in=%d ipc=%v pc=%v l3=%d,%d,%v,%v tlb=%d,%d,%v nc=%d e=%v,%v,%v,%v edp=%v row=%v,%v b=%d,%d ctrl=%+v km=%v kc=%v sram=%v",
+		r.Cycles, r.Instructions, r.IPC, r.PerCoreIPC,
+		r.L3Accesses, r.L3Hits, r.L3HitRate, r.AvgL3Latency,
+		r.TLBLookups, r.TLBMisses, r.TLBMissRate, r.NCAccesses,
+		r.Energy.CoreJ, r.Energy.InPkgJ, r.Energy.OffPkgJ, r.Energy.TagJ,
+		r.EDPJs, r.InPkgRowHitRate, r.OffPkgRowHitRate, r.InPkgBytes, r.OffPkgBytes,
+		r.Ctrl, r.MissKindMean, r.MissKindCount, r.SRAMHitRate)
+}
+
+// goldenOptions is the fixed configuration the golden fingerprints were
+// captured under: default 64× scale, 200k+200k instructions, seed 1.
+func goldenOptions() taglessdram.Options {
+	o := taglessdram.DefaultOptions()
+	o.Warmup, o.Measure = 200_000, 200_000
+	return o
+}
+
+// golden maps workload/design to the expected fingerprint. These values
+// pin the simulator's exact behavior: any change to replacement order,
+// event ordering, RNG consumption, or latency accounting shows up here.
+// They were captured before the hot-path optimization work (arena page
+// table, pooled events, SoA caches, scheduler heap) and have survived it
+// unchanged — that is the PR's determinism invariant.
+var golden = map[string]string{
+	"sphinx3/NoL3":        `cyc=209221 in=800120 ipc=3.8242815013789246 pc=[0.9800395876611924 0.9560703753447312 0.959031523432818 1.0176432881228314] l3=6332,0,0,219.6822488945036 tlb=28920,216,0.007468879668049793 nc=0 e=0.0013948066666666665,0,0.00011447047199999999,0 edp=1.0525749074299287e-07 row=0,0.9214296961108487 b=0,405248 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"sphinx3/BI":          `cyc=187355 in=800120 ipc=4.270609271169705 pc=[1.1100567153908478 1.0860394281774106 1.0676523177924262 1.161256988267258] l3=6332,784,0.12381554011370816,185.70467466835075 tlb=28920,216,0.007468879668049793 nc=0 e=0.0012490333333333335,2.9290112000000002e-06,9.9634008e-05,0 edp=8.440944487629422e-08 row=0.9693877551020408,0.9294054248248608 b=50176,355072 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"sphinx3/SRAM":        `cyc=272704 in=800120 ipc=2.93402370335602 pc=[0.7543263556039929 0.7480805262705177 0.733505925839005 0.7716551835878127] l3=6332,6116,0.9658875552747946,283.55337965887543 tlb=28920,216,0.007468879668049793 nc=0 e=0.0018180266666666667,8.2679392e-05,0.00023681030399999998,1.15272e-07 edp=1.9431356576671288e-07 row=0.8179527559055119,0.5 b=1276160,884736 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0.9658875552747946`,
+	"sphinx3/cTLB":        `cyc=247241 in=800120 ipc=3.2361946440922016 pc=[0.8398622832430617 0.8144975100473559 0.8090486610230504 0.8509923209461615] l3=6332,6332,1,235.68145925457995 tlb=28920,216,0.007468879668049793 nc=0 e=0.0016482733333333334,6.972218079999999e-05,0.000247349376,0 edp=1.6197127866048515e-07 row=0.96269224912441,0.5 b=1289984,912384 ctrl={Walks:216 NonCacheable:0 VictimHits:0 ColdFills:216 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 707.5324074074077 0] kc=[0 0 216 0] sram=0`,
+	"sphinx3/Ideal":       `cyc=114304 in=800120 ipc=6.999930011198209 pc=[1.7862373196170882 1.7712585561094827 1.7499825027995521 1.8440533589003716] l3=6332,6332,1,86.48357548957688 tlb=28920,216,0.007468879668049793 nc=0 e=0.0007620266666666667,2.4438697600000002e-05,0,0 edp=2.9965378999045694e-08 row=0.9612659423712802,0 b=405248,0 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"GemsFDTD/NoL3":       `cyc=381907 in=800000 ipc=2.094750816298209 pc=[0.5436348513430499 0.5502683934088852 0.5238523050811055 0.5236877040745522] l3=10452,0,0,309.2589934940692 tlb=32000,369,0.01153125 nc=0 e=0.0025460466666666665,0,0.000186976992,0 edp=3.479202888034702e-07 row=0,0.9338811389260463 b=0,668928 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"GemsFDTD/BI":         `cyc=349618 in=800000 ipc=2.2882117053469786 pc=[0.6015869864703087 0.6126212224243872 0.585269355589176 0.5720529263367446] l3=10452,1237,0.11835055491771909,278.3044393417533 tlb=32000,369,0.01153125 nc=0 e=0.002330786666666667,4.6684016e-06,0.00016423164,0 edp=2.9131182252359185e-07 row=0.9668820678513732,0.9383398352839185 b=79168,589760 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"GemsFDTD/SRAM":       `cyc=441937 in=800000 ipc=1.8102127678832052 pc=[0.46096757093138496 0.45921799767176474 0.4525531919708013 0.4565188610767454] l3=10452,10083,0.9646957520091849,337.6494450822807 tlb=32000,369,0.01153125 nc=0 e=0.0029462466666666663,0.0001278248832,0.000404550936,1.9035e-07 edp=5.12472036081469e-07 row=0.8891649149627365,0.5 b=2156736,1511424 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0.9646957520091849`,
+	"GemsFDTD/cTLB":       `cyc=424987 in=800000 ipc=1.8824105207924007 pc=[0.48159233690273523 0.48674117051516685 0.47060263019810017 0.47787898192661693] l3=10452,10452,1,317.7223497895133 tlb=32000,369,0.01153125 nc=0 e=0.0028332466666666665,0.0001188940224,0.000422555184,0 edp=4.780672916689944e-07 row=0.9553299492385787,0.5 b=2180352,1558656 ctrl={Walks:369 NonCacheable:0 VictimHits:0 ColdFills:369 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 766.8536585365857 0] kc=[0 0 369 0] sram=0`,
+	"GemsFDTD/Ideal":      `cyc=197949 in=800000 ipc=4.041445018666424 pc=[1.052764559733861 1.0548745754129834 1.010361254666606 1.0287324986883661] l3=10452,10452,1,134.63040566398868 tlb=32000,369,0.01153125 nc=0 e=0.0013196599999999998,4.15541136e-05,0,0 edp=8.981699085766878e-08 row=0.9534683737817695,0 b=668928,0 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"MIX1/NoL3":           `cyc=460838 in=800007 ipc=1.7359831437511664 pc=[0.43399198850789217 0.4426346706329708 0.47737053789876954 0.4354176552793003] l3=10277,0,0,366.74642405371236 tlb=43379,224,0.005163788930127481 nc=0 e=0.003072253333333333,0,0.000191415192,0 edp=5.013408252925209e-07 row=0,0.8850184358626043 b=0,657728 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"MIX1/BI":             `cyc=426122 in=800007 ipc=1.8774130413355798 pc=[0.47167030245858144 0.47650306295315864 0.5164109039359831 0.46941955590183093] l3=10277,1080,0.10508903376471733,330.87681229930996 tlb=43379,224,0.005163788930127481 nc=0 e=0.0028408133333333334,3.913944e-06,0.000170812512,0 edp=4.2832928203676617e-07 row=0.9768946395563771,0.888551604509974 b=69120,588608 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"MIX1/SRAM":           `cyc=581323 in=800007 ipc=1.3761832922488875 pc=[0.3861928338057759 0.3774854562820179 0.5309883947844234 0.344094419109514] l3=10277,10053,0.9782037559599105,398.9464824365077 tlb=43379,224,0.005163788930127481 nc=0 e=0.003875486666666667,0.0001056578752,0.00024558105599999997,1.8633e-07 edp=8.190670408810781e-07 row=0.8334950514263536,0.5 b=1560896,917504 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0.9782037559599105`,
+	"MIX1/cTLB":           `cyc=554608 in=800007 ipc=1.442472881747108 pc=[0.40902221195122 0.3924036723889954 0.5601969731346795 0.360669157314716] l3=10277,10277,1,372.35243748175617 tlb=43379,224,0.005163788930127481 nc=0 e=0.0036973866666666667,9.52468784e-05,0.000256510464,0 edp=7.485625535268153e-07 row=0.9075973409306742,0.5 b=1575232,946176 ctrl={Walks:224 NonCacheable:0 VictimHits:0 ColdFills:224 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 596.9241071428575 0] kc=[0 0 224 0] sram=0`,
+	"MIX1/Ideal":          `cyc=266031 in=800007 ipc=3.0071946502475275 pc=[0.7517920843811435 0.7775224720848496 0.8447284722896858 0.7566976613983188] l3=10277,10277,1,189.397489539749 tlb=43379,224,0.005163788930127481 nc=0 e=0.00177354,4.81206736e-05,0,0 edp=1.6153940355282723e-07 row=0.9065592858529012,0 b=657728,0 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"streamcluster/NoL3":  `cyc=375328 in=800048 ipc=2.1315968965811236 pc=[0.5328992241452809 0.5517435429189345 0.5432938472946948 0.5592582443700054] l3=9785,0,0,476.7062851303026 tlb=25808,368,0.01425914445133292 nc=0 e=0.0025021866666666667,0,0.00016817735999999998,0 edp=3.3408746313358224e-07 row=0,0.9806102663537095 b=0,626240 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"streamcluster/BI":    `cyc=353507 in=800048 ipc=2.2631744208742686 pc=[0.6955414987324516 0.625244612277817 0.6294376626605364 0.5657936052185671] l3=9495,1009,0.1062664560294892,407.4202211690359 tlb=25808,355,0.01375542467451953 nc=0 e=0.0023567133333333335,3.4862912000000002e-06,0.000145374456,0 edp=2.952459921623657e-07 row=0.9881188118811881,0.984349258649094 b=64576,543104 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"streamcluster/SRAM":  `cyc=272287 in=800048 ipc=2.938252652532071 pc=[0.7601839534795333 0.7586413548521687 0.7345631631330177 0.766467524803317] l3=9940,9825,0.988430583501006,312.79637826961726 tlb=25808,370,0.014336639801611904 nc=0 e=0.0018152466666666667,7.285680799999999e-05,0.00012607956,1.7961e-07 edp=1.828282538094509e-07 row=0.8891902752662246,0.5 b=1099840,471040 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0.988430583501006`,
+	"streamcluster/cTLB":  `cyc=247301 in=800048 ipc=3.235118337572432 pc=[0.9222923122325513 0.8506334712694518 0.808779584393108 0.8213606665763225] l3=9683,9683,1,262.66177837447145 tlb=25808,366,0.014181649101053937 nc=0 e=0.0016486733333333334,5.7571502399999994e-05,0.00013169064,0 edp=1.5150776036144305e-07 row=0.9882784629497503,0.5 b=1090752,485760 ctrl={Walks:366 NonCacheable:0 VictimHits:250 ColdFills:115 PendingWaits:1 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 40 531.2347826086955 270] kc=[0 250 115 1] sram=0`,
+	"streamcluster/Ideal": `cyc=185533 in=800048 ipc=4.312160100898493 pc=[1.127304494856982 1.134794103963598 1.0780400252246232 1.0882815433082862] l3=9797,9797,1,197.75186281514831 tlb=25808,354,0.013716676999380038 nc=0 e=0.0012368866666666667,3.38278096e-05,0,0 edp=7.858648964172783e-08 row=0.9882784629497503,0 b=627008,0 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+}
+
+// goldenVariants cover the tagless design's feature knobs: replacement
+// policies, superpages, the alias table, hot-page filtering, NC
+// classification, eviction pressure, memory-modeled walks, and
+// synchronous eviction.
+var goldenVariants = map[string]struct {
+	workload string
+	mod      func(*taglessdram.Options)
+	want     string
+}{
+	"lru":        {"MIX1", func(o *taglessdram.Options) { o.Policy = taglessdram.LRU }, `cyc=554608 in=800007 ipc=1.442472881747108 pc=[0.40902221195122 0.3924036723889954 0.5601969731346795 0.360669157314716] l3=10277,10277,1,372.35243748175617 tlb=43379,224,0.005163788930127481 nc=0 e=0.0036973866666666667,9.52468784e-05,0.000256510464,0 edp=7.485625535268153e-07 row=0.9075973409306742,0.5 b=1575232,946176 ctrl={Walks:224 NonCacheable:0 VictimHits:0 ColdFills:224 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 596.9241071428575 0] kc=[0 0 224 0] sram=0`},
+	"clock":      {"MIX1", func(o *taglessdram.Options) { o.Policy = taglessdram.CLOCK }, `cyc=554608 in=800007 ipc=1.442472881747108 pc=[0.40902221195122 0.3924036723889954 0.5601969731346795 0.360669157314716] l3=10277,10277,1,372.35243748175617 tlb=43379,224,0.005163788930127481 nc=0 e=0.0036973866666666667,9.52468784e-05,0.000256510464,0 edp=7.485625535268153e-07 row=0.9075973409306742,0.5 b=1575232,946176 ctrl={Walks:224 NonCacheable:0 VictimHits:0 ColdFills:224 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 596.9241071428575 0] kc=[0 0 224 0] sram=0`},
+	"super":      {"lbm", func(o *taglessdram.Options) { o.Superpages = true }, `cyc=554408 in=799976 ipc=1.44293733135164 pc=[0.3722099699431432 0.36073433283791 0.3781291122774643 0.3632687906419152] l3=14879,14877,0.9998655823644063,635.0676120707005 tlb=42104,57,0.0013537906137184115 nc=4 e=0.0036960533333333335,0.0001495886416,0.000485138712,0 edp=8.003398196937784e-07 row=0.9627624885874527,0.11066398390342053 b=2754368,1809408 ctrl={Walks:57 NonCacheable:2 VictimHits:0 ColdFills:55 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[40 0 2547.327272727273 0] kc=[2 0 55 0] sram=0`},
+	"alias":      {"MIX1", func(o *taglessdram.Options) { o.SharedAliasTable = true }, `cyc=574349 in=800007 ipc=1.3928935194454939 pc=[0.3955305052902205 0.3832304921048597 0.5417224211626912 0.34827256598340034] l3=10277,10277,1,378.460640264668 tlb=43379,224,0.005163788930127481 nc=0 e=0.0038289933333333333,9.51268784e-05,0.000256510464,0 edp=8.003803493255881e-07 row=0.9083570750237417,0.5 b=1575232,946176 ctrl={Walks:224 NonCacheable:0 VictimHits:0 ColdFills:224 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 652.660714285714 0] kc=[0 0 224 0] sram=0`},
+	"hot":        {"MIX1", func(o *taglessdram.Options) { o.HotFilterThreshold = 8 }, `cyc=650026 in=800007 ipc=1.2307307707691693 pc=[0.33175473372535685 0.31963233131736757 0.5668675347645421 0.30772615249236185] l3=10777,10015,0.9292938665676904,434.97494664563646 tlb=43379,441,0.010166209456188478 nc=1545 e=0.004333506666666667,9.36253504e-05,0.000261474264,0 edp=1.0159053288188805e-06 row=0.9005944839684241,0.8127090301003345 b=1529792,965376 ctrl={Walks:441 NonCacheable:224 VictimHits:0 ColdFills:217 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[40 0 603.3870967741943 0] kc=[224 0 217 0] sram=0`},
+	"nc":         {"GemsFDTD", func(o *taglessdram.Options) { o.NCAccessThreshold = 32 }, `cyc=394947 in=800000 ipc=2.025588243485835 pc=[0.5225220047079233 0.5203956047387224 0.5063970608714587 0.5069066024584971] l3=10452,10411,0.9960773057787983,288.4397244546508 tlb=32000,369,0.01153125 nc=82 e=0.00263298,0.0001093963504,0.000376912344,0 edp=4.1065123732906566e-07 row=0.9597321677671348,0.47058823529411764 b=2009792,1388096 ctrl={Walks:369 NonCacheable:41 VictimHits:0 ColdFills:328 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[40 0 733.4664634146341 0] kc=[41 0 328 0] sram=0`},
+	"smallcache": {"milc", func(o *taglessdram.Options) { o.CacheMB = 2 }, `cyc=771391 in=800000 ipc=1.037087547041643 pc=[0.26670222696359513 0.2764810050637496 0.26736824093086925 0.25927188676041074] l3=12133,12133,1,560.3114646006759 tlb=32000,416,0.013 nc=0 e=0.005142606666666666,0.00019476276959999998,0.000788834616,0 edp=1.5752328900273452e-06 row=0.9585568773812301,0.37242614145031333 b=3647808,2924544 ctrl={Walks:416 NonCacheable:0 VictimHits:0 ColdFills:416 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:291 Writebacks:285 SyncEvictions:167 Shootdowns:291} km=[0 0 1601.5865384615377 0] kc=[0 0 416 0] sram=0`},
+	"memwalk":    {"mcf", func(o *taglessdram.Options) { o.MemoryWalk = true }, `cyc=524810 in=800052 ipc=1.5244602808635506 pc=[0.3958474344816121 0.38111507021588764 0.3877596124206841 0.3962662260472636] l3=19105,19105,1,124.85668673122261 tlb=72732,2103,0.028914370565913217 nc=0 e=0.003498733333333333,0.00015246968959999998,0.00018861744,0 edp=6.717253923840142e-07 row=0.8008273009307135,0.8588342440801457 b=1849408,696960 ctrl={Walks:2103 NonCacheable:0 VictimHits:1950 ColdFills:153 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 33.26769230769227 1109.7254901960782 0] kc=[0 1950 153 0] sram=0`},
+	"sync":       {"milc", func(o *taglessdram.Options) { o.CacheMB = 2; o.SynchronousEviction = true }, `cyc=846595 in=800000 ipc=0.9449618766942871 pc=[0.24355641070917539 0.25353651749845657 0.24232731149964257 0.23624046917357178] l3=12133,12133,1,604.0360998928523 tlb=32000,416,0.013 nc=0 e=0.005643966666666667,0.00019428305439999998,0.000787738272,0 edp=1.8698427683300915e-06 row=0.9599533437013997,0.3727598566308244 b=3643712,2920448 ctrl={Walks:416 NonCacheable:0 VictimHits:0 ColdFills:416 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:290 Writebacks:284 SyncEvictions:290 Shootdowns:290} km=[0 0 1884.6850961538462 0] kc=[0 0 416 0] sram=0`},
+}
+
+// TestGoldenDeterminism runs every (workload, design) pair and feature
+// variant at fixed seeds and compares against the pinned fingerprints.
+// Subtests run in parallel: each simulation is fully isolated, so
+// parallelism cannot change the metrics — the same property that makes
+// -j 1 and -j N sweeps byte-identical.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, wl := range []string{"sphinx3", "GemsFDTD", "MIX1", "streamcluster"} {
+		for _, d := range taglessdram.Designs() {
+			key := wl + "/" + d.String()
+			want, ok := golden[key]
+			if !ok {
+				t.Fatalf("missing golden entry for %s", key)
+			}
+			t.Run(key, func(t *testing.T) {
+				t.Parallel()
+				r, err := taglessdram.Run(d, wl, goldenOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(r); got != want {
+					t.Errorf("fingerprint changed:\n got: %s\nwant: %s", got, want)
+				}
+			})
+		}
+	}
+	for name, v := range goldenVariants {
+		t.Run("variant/"+name, func(t *testing.T) {
+			t.Parallel()
+			o := goldenOptions()
+			v.mod(&o)
+			r, err := taglessdram.Run(taglessdram.Tagless, v.workload, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(r); got != v.want {
+				t.Errorf("fingerprint changed:\n got: %s\nwant: %s", got, v.want)
+			}
+		})
+	}
+}

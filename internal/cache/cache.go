@@ -6,6 +6,11 @@
 // arrays are indexed and tagged by cache addresses (CA) instead of physical
 // addresses (Section 3.1); the model is agnostic — it caches whatever
 // address space the caller presents.
+//
+// The arrays are stored structure-of-arrays: the hit path scans only the
+// set's tag words (one cache line for an 8-way set), touching LRU stamps
+// and dirty bits only on the way it needs. Invalid ways carry a sentinel
+// tag, so presence checks need no separate valid bit.
 package cache
 
 import (
@@ -14,12 +19,9 @@ import (
 	"taglessdram/internal/config"
 )
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU timestamp
-}
+// invalidTag marks an empty way. Real tags are block numbers (addr >> shift)
+// and stay far below 2^63, so the sentinel cannot collide.
+const invalidTag = ^uint64(0)
 
 // Victim describes a line displaced by a fill.
 type Victim struct {
@@ -30,10 +32,21 @@ type Victim struct {
 // Cache is one set-associative SRAM cache.
 type Cache struct {
 	cfg   config.CacheConfig
-	sets  [][]line
+	ways  int
+	nsets int
+	tags  []uint64 // set-major: tags[si*ways+w]
+	used  []uint64 // LRU timestamps, same layout
+	dirty []bool   // dirty bits, same layout
 	tick  uint64
 	shift uint // log2(line size)
 	mask  uint64
+
+	// Same-line memo: lastIdx is the flat index of the line that served the
+	// previous Access. A repeat access to the same block skips the way scan.
+	// The memo is only trusted when tags[lastIdx] still holds the block, so
+	// evictions and invalidations cannot make it lie.
+	lastBlock uint64
+	lastIdx   int
 
 	Accesses   uint64
 	Hits       uint64
@@ -50,9 +63,17 @@ func New(cfg config.CacheConfig) *Cache {
 	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
 		panic("cache: line size must be a power of two")
 	}
-	c := &Cache{cfg: cfg, sets: make([][]line, nsets)}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	n := nsets * cfg.Ways
+	c := &Cache{
+		cfg:   cfg,
+		ways:  cfg.Ways,
+		nsets: nsets,
+		tags:  make([]uint64, n),
+		used:  make([]uint64, n),
+		dirty: make([]bool, n),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	for cfg.LineBytes>>c.shift != 1 {
 		c.shift++
@@ -75,15 +96,15 @@ func (c *Cache) index(addr uint64) (setIdx int, tag uint64) {
 	if c.mask != 0 {
 		return int(block & c.mask), block
 	}
-	return int(block % uint64(len(c.sets))), block
+	return int(block % uint64(c.nsets)), block
 }
 
 // Lookup reports whether addr is present without modifying state.
 func (c *Cache) Lookup(addr uint64) bool {
 	si, tag := c.index(addr)
-	for i := range c.sets[si] {
-		l := &c.sets[si][i]
-		if l.valid && l.tag == tag {
+	base := si * c.ways
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == tag {
 			return true
 		}
 	}
@@ -96,15 +117,26 @@ func (c *Cache) Lookup(addr uint64) bool {
 func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, hasVictim bool) {
 	c.Accesses++
 	c.tick++
+	block := addr >> c.shift
+	if block == c.lastBlock && c.tags[c.lastIdx] == block {
+		c.Hits++
+		c.used[c.lastIdx] = c.tick
+		if write {
+			c.dirty[c.lastIdx] = true
+		}
+		return true, Victim{}, false
+	}
 	si, tag := c.index(addr)
-	set := c.sets[si]
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	base := si * c.ways
+	tags := c.tags[base : base+c.ways]
+	for w, t := range tags {
+		if t == tag {
 			c.Hits++
-			l.used = c.tick
+			i := base + w
+			c.lastBlock, c.lastIdx = tag, i
+			c.used[i] = c.tick
 			if write {
-				l.dirty = true
+				c.dirty[i] = true
 			}
 			return true, Victim{}, false
 		}
@@ -112,24 +144,27 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, hasVic
 	c.Misses++
 	// Choose an invalid way, else the LRU way.
 	vi := 0
-	for i := range set {
-		if !set[i].valid {
-			vi = i
+	for w, t := range tags {
+		if t == invalidTag {
+			vi = w
 			break
 		}
-		if set[i].used < set[vi].used {
-			vi = i
+		if c.used[base+w] < c.used[base+vi] {
+			vi = w
 		}
 	}
-	l := &set[vi]
-	if l.valid {
+	i := base + vi
+	if old := c.tags[i]; old != invalidTag {
 		hasVictim = true
-		victim = Victim{Addr: l.tag << c.shift, Dirty: l.dirty}
-		if l.dirty {
+		victim = Victim{Addr: old << c.shift, Dirty: c.dirty[i]}
+		if c.dirty[i] {
 			c.Writebacks++
 		}
 	}
-	*l = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	c.tags[i] = tag
+	c.used[i] = c.tick
+	c.dirty[i] = write
+	c.lastBlock, c.lastIdx = tag, i
 	return false, victim, hasVictim
 }
 
@@ -138,10 +173,10 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, hasVic
 // an upper-level cache). It reports whether the line was present.
 func (c *Cache) MarkDirty(addr uint64) bool {
 	si, tag := c.index(addr)
-	for i := range c.sets[si] {
-		l := &c.sets[si][i]
-		if l.valid && l.tag == tag {
-			l.dirty = true
+	base := si * c.ways
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			c.dirty[base+w] = true
 			return true
 		}
 	}
@@ -152,11 +187,14 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 // present and dirty (the caller models the write-back of dirty data).
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	si, tag := c.index(addr)
-	for i := range c.sets[si] {
-		l := &c.sets[si][i]
-		if l.valid && l.tag == tag {
-			present, dirty = true, l.dirty
-			*l = line{}
+	base := si * c.ways
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			i := base + w
+			present, dirty = true, c.dirty[i]
+			c.tags[i] = invalidTag
+			c.used[i] = 0
+			c.dirty[i] = false
 			return present, dirty
 		}
 	}
@@ -190,11 +228,9 @@ func (c *Cache) HitRate() float64 {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, t := range c.tags {
+		if t != invalidTag {
+			n++
 		}
 	}
 	return n
@@ -202,18 +238,21 @@ func (c *Cache) Occupancy() int {
 
 // Flush invalidates everything, returning the number of dirty lines lost.
 func (c *Cache) Flush() (dirty int) {
-	for si := range c.sets {
-		for i := range c.sets[si] {
-			if c.sets[si][i].valid && c.sets[si][i].dirty {
-				dirty++
-			}
-			c.sets[si][i] = line{}
+	for i := range c.tags {
+		if c.tags[i] != invalidTag && c.dirty[i] {
+			dirty++
 		}
+		c.tags[i] = invalidTag
+		c.used[i] = 0
+		c.dirty[i] = false
 	}
 	return dirty
 }
 
-// ResetStats clears counters without touching contents.
+// ResetStats clears counters without touching contents. The LRU clock
+// (tick) and per-line recency stamps are deliberately left alone: resetting
+// them at a measurement boundary would invert recency order and change
+// victim selection mid-run.
 func (c *Cache) ResetStats() {
 	c.Accesses, c.Hits, c.Misses, c.Writebacks = 0, 0, 0, 0
 }

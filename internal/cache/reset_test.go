@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"taglessdram/internal/config"
+)
+
+// TestResetStatsPreservesReplacementState pins the measurement-boundary
+// invariant: ResetStats must clear counters only. The LRU clock and
+// per-line recency stamps survive, so the hit/miss (and victim) sequence
+// after the boundary is byte-identical to a run that never reset. A
+// regression here silently changes every measured-phase metric, because
+// the simulator calls ResetStats at the warmup/measure boundary mid-run.
+func TestResetStatsPreservesReplacementState(t *testing.T) {
+	cfg := config.CacheConfig{SizeBytes: 4096, LineBytes: 64, Ways: 4, LatencyCycle: 1}
+	a, b := New(cfg), New(cfg)
+
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		// 4× the cache's line count, so the sequence keeps evicting.
+		addrs[i] = uint64(rng.Intn(256)) * 64
+	}
+
+	for i, addr := range addrs {
+		write := addr%128 == 0
+		if i == len(addrs)/2 {
+			a.ResetStats() // b never resets
+		}
+		ha, va, oka := a.Access(addr, write)
+		hb, vb, okb := b.Access(addr, write)
+		if ha != hb || va != vb || oka != okb {
+			t.Fatalf("access %d (addr %#x): diverged after ResetStats: (%v %v %v) vs (%v %v %v)",
+				i, addr, ha, va, oka, hb, vb, okb)
+		}
+	}
+	if a.Accesses >= b.Accesses {
+		t.Fatalf("ResetStats did not clear counters: %d vs %d", a.Accesses, b.Accesses)
+	}
+}

@@ -14,9 +14,12 @@ type Core struct {
 	IssueWidth int
 	MSHRs      int
 
-	now       sim.Tick
-	pendInstr int        // sub-cycle instruction accumulator
-	window    []sim.Tick // completion times of in-flight overlapped misses
+	now        sim.Tick
+	pendInstr  int        // sub-cycle instruction accumulator
+	window     []sim.Tick // completion times of in-flight overlapped misses
+	issueShift uint       // log2(IssueWidth) when it is a power of two
+	issueMask  int        // IssueWidth-1 when it is a power of two
+	issuePow2  bool
 
 	Instructions uint64
 	MemOps       uint64
@@ -29,7 +32,20 @@ func New(id, issueWidth, mshrs int) *Core {
 	if issueWidth <= 0 || mshrs <= 0 {
 		panic("cpu: issue width and MSHRs must be positive")
 	}
-	return &Core{ID: id, IssueWidth: issueWidth, MSHRs: mshrs}
+	c := &Core{
+		ID:         id,
+		IssueWidth: issueWidth,
+		MSHRs:      mshrs,
+		window:     make([]sim.Tick, 0, mshrs),
+	}
+	if issueWidth&(issueWidth-1) == 0 {
+		c.issuePow2 = true
+		c.issueMask = issueWidth - 1
+		for 1<<c.issueShift != issueWidth {
+			c.issueShift++
+		}
+	}
+	return c
 }
 
 // Now returns the core's current cycle.
@@ -41,9 +57,14 @@ func (c *Core) Retire(n int) {
 		return
 	}
 	c.Instructions += uint64(n)
-	c.pendInstr += n
-	c.now += sim.Tick(c.pendInstr / c.IssueWidth)
-	c.pendInstr %= c.IssueWidth
+	p := c.pendInstr + n
+	if c.issuePow2 {
+		c.now += sim.Tick(p >> c.issueShift)
+		c.pendInstr = p & c.issueMask
+	} else {
+		c.now += sim.Tick(p / c.IssueWidth)
+		c.pendInstr = p % c.IssueWidth
+	}
 }
 
 // ReserveMSHR blocks until an MSHR is available and returns the issue time

@@ -14,6 +14,7 @@ package mmu
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrOutOfMemory is returned when the backing store has no free frames.
@@ -100,14 +101,56 @@ func (a *FrameAllocator) InUse() uint64 { return a.next - uint64(len(a.free)) }
 // Capacity returns the total number of frames.
 func (a *FrameAllocator) Capacity() uint64 { return a.max }
 
+// Leaf geometry of the two-level radix table: each leaf arena covers an
+// aligned block of 512 virtual pages (2MB of address space), mirroring an
+// x86-64 last-level page-table page.
+const (
+	leafBits  = 9
+	leafPages = 1 << leafBits
+	leafMask  = leafPages - 1
+)
+
+// ptLeaf is one arena of value PTEs. Leaves are allocated once and never
+// move or shrink, so &leaf.ptes[i] pointers handed out by Walk/Lookup stay
+// valid for the table's lifetime — the controller and GIPT rely on PTE
+// pointer stability (pendings are keyed by *PTE).
+type ptLeaf struct {
+	base    uint64 // vpn >> leafBits
+	present [leafPages / 64]uint64
+	ptes    [leafPages]PTE
+}
+
+func (l *ptLeaf) entry(vpn uint64) (*PTE, bool) {
+	off := vpn & leafMask
+	if l.present[off>>6]&(1<<(off&63)) == 0 {
+		return nil, false
+	}
+	return &l.ptes[off], true
+}
+
+func (l *ptLeaf) insert(vpn uint64, pte PTE) *PTE {
+	off := vpn & leafMask
+	l.present[off>>6] |= 1 << (off & 63)
+	l.ptes[off] = pte
+	return &l.ptes[off]
+}
+
 // PageTable maps virtual page numbers to PTEs for one address space.
 // Multi-threaded workloads share one PageTable across cores (the paper
 // notes shared pages within a process cause no aliasing); multi-programmed
 // workloads get one PageTable per core, sharing a FrameAllocator.
+//
+// The table is a two-level radix structure: a sparse root keyed by the high
+// vpn bits and leaf arenas of value PTEs, with a last-leaf memo so the hot
+// translation path resolves repeated and spatially adjacent vpns without a
+// map probe. Entries are never unmapped, which is what makes both the memo
+// and the handed-out PTE pointers safe.
 type PageTable struct {
-	ASID    int
-	alloc   *FrameAllocator
-	entries map[uint64]*PTE
+	ASID  int
+	alloc *FrameAllocator
+	root  map[uint64]*ptLeaf
+	last  *ptLeaf // most recently resolved leaf
+	pages int
 
 	Walks      uint64 // demand walks performed
 	PageFaults uint64 // first-touch allocations
@@ -118,7 +161,35 @@ func NewPageTable(asid int, alloc *FrameAllocator) *PageTable {
 	if alloc == nil {
 		panic("mmu: nil frame allocator")
 	}
-	return &PageTable{ASID: asid, alloc: alloc, entries: make(map[uint64]*PTE)}
+	return &PageTable{ASID: asid, alloc: alloc, root: make(map[uint64]*ptLeaf)}
+}
+
+// leaf returns the leaf covering vpn, or nil when none exists.
+func (pt *PageTable) leaf(vpn uint64) *ptLeaf {
+	idx := vpn >> leafBits
+	if l := pt.last; l != nil && l.base == idx {
+		return l
+	}
+	l := pt.root[idx]
+	if l != nil {
+		pt.last = l
+	}
+	return l
+}
+
+// leafOrNew returns the leaf covering vpn, creating it if needed.
+func (pt *PageTable) leafOrNew(vpn uint64) *ptLeaf {
+	idx := vpn >> leafBits
+	if l := pt.last; l != nil && l.base == idx {
+		return l
+	}
+	l := pt.root[idx]
+	if l == nil {
+		l = &ptLeaf{base: idx}
+		pt.root[idx] = l
+	}
+	pt.last = l
+	return l
 }
 
 // Walk returns the PTE for vpn, allocating a physical frame on first touch
@@ -127,7 +198,8 @@ func NewPageTable(asid int, alloc *FrameAllocator) *PageTable {
 // PTE during cache fills and evictions.
 func (pt *PageTable) Walk(vpn uint64) (*PTE, error) {
 	pt.Walks++
-	if pte, ok := pt.entries[vpn]; ok {
+	l := pt.leafOrNew(vpn)
+	if pte, ok := l.entry(vpn); ok {
 		return pte, nil
 	}
 	ppn, err := pt.alloc.Alloc()
@@ -135,9 +207,8 @@ func (pt *PageTable) Walk(vpn uint64) (*PTE, error) {
 		return nil, err
 	}
 	pt.PageFaults++
-	pte := &PTE{Frame: ppn}
-	pt.entries[vpn] = pte
-	return pte, nil
+	pt.pages++
+	return l.insert(vpn, PTE{Frame: ppn}), nil
 }
 
 // WalkRegion returns the superpage PTE covering the aligned region of
@@ -146,7 +217,8 @@ func (pt *PageTable) Walk(vpn uint64) (*PTE, error) {
 func (pt *PageTable) WalkRegion(vpn uint64, pages uint64) (*PTE, error) {
 	pt.Walks++
 	base := vpn &^ (pages - 1)
-	if pte, ok := pt.entries[base]; ok {
+	l := pt.leafOrNew(base)
+	if pte, ok := l.entry(base); ok {
 		if !pte.Super {
 			return nil, fmt.Errorf("mmu: page %d already mapped at 4KB granularity", base)
 		}
@@ -157,27 +229,29 @@ func (pt *PageTable) WalkRegion(vpn uint64, pages uint64) (*PTE, error) {
 		return nil, err
 	}
 	pt.PageFaults++
-	pte := &PTE{Frame: ppn, Super: true}
-	pt.entries[base] = pte
-	return pte, nil
+	pt.pages++
+	return l.insert(base, PTE{Frame: ppn, Super: true}), nil
 }
 
 // MapShared maps vpn to an existing physical frame owned elsewhere (an
 // inter-process shared page). The frame's lifetime is the caller's concern;
 // this table only references it. Mapping an already-mapped vpn is an error.
 func (pt *PageTable) MapShared(vpn, ppn uint64) (*PTE, error) {
-	if _, ok := pt.entries[vpn]; ok {
+	l := pt.leafOrNew(vpn)
+	if _, ok := l.entry(vpn); ok {
 		return nil, fmt.Errorf("mmu: page %d already mapped", vpn)
 	}
-	pte := &PTE{Frame: ppn}
-	pt.entries[vpn] = pte
-	return pte, nil
+	pt.pages++
+	return l.insert(vpn, PTE{Frame: ppn}), nil
 }
 
 // Lookup returns the PTE for vpn without allocating.
 func (pt *PageTable) Lookup(vpn uint64) (*PTE, bool) {
-	pte, ok := pt.entries[vpn]
-	return pte, ok
+	l := pt.leaf(vpn)
+	if l == nil {
+		return nil, false
+	}
+	return l.entry(vpn)
 }
 
 // SetNonCacheable pre-marks vpn as bypassing the DRAM cache (Section 3.5),
@@ -195,15 +269,21 @@ func (pt *PageTable) SetNonCacheable(vpn uint64) error {
 }
 
 // Pages returns the number of mapped pages.
-func (pt *PageTable) Pages() int { return len(pt.entries) }
+func (pt *PageTable) Pages() int { return pt.pages }
 
 // CachedPages counts entries with VC set — used to validate the invariant
 // that it always equals the number of GIPT entries pointing at this table.
 func (pt *PageTable) CachedPages() int {
 	n := 0
-	for _, pte := range pt.entries {
-		if pte.VC {
-			n++
+	for _, l := range pt.root {
+		for w, set := range l.present {
+			for set != 0 {
+				off := w<<6 + bits.TrailingZeros64(set)
+				if l.ptes[off].VC {
+					n++
+				}
+				set &= set - 1
+			}
 		}
 	}
 	return n

@@ -1,0 +1,87 @@
+// Package prof wires Go's built-in profilers into the command-line tools:
+// CPU profiles, heap profiles, and execution traces, each behind a flag.
+// The captured files feed `go tool pprof` / `go tool trace` against the
+// per-reference simulation loop, which is how this repository's hot-path
+// work (arena page table, pooled events, SoA caches) was measured.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the profiling destinations. Empty strings disable a profiler.
+type Flags struct {
+	CPUProfile string // pprof CPU profile path
+	MemProfile string // pprof heap profile path (written at Stop)
+	Trace      string // runtime execution trace path
+}
+
+// Register installs the standard -cpuprofile / -memprofile / -trace flags
+// on fs and returns the Flags that will receive their values after parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins the requested profilers and returns a stop function to defer.
+// The stop function ends the CPU profile and trace, and writes the heap
+// profile (after a GC, so it reflects live objects, not garbage).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuF, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceF, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		cleanup()
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

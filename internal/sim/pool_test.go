@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// countHandler counts firings and records the last payload it saw.
+type countHandler struct {
+	fired  int
+	lastA0 uint64
+	lastP  any
+}
+
+func (h *countHandler) OnEvent(now Tick, e *Event) {
+	h.fired++
+	h.lastA0 = e.A0
+	h.lastP = e.P
+}
+
+// TestHeapPopClearsIndex pins the satellite fix: eventHeap.Pop itself must
+// mark the popped event as off-heap, so every Pop path (Step's dispatch,
+// heap.Remove's internal pop) leaves e.idx == -1 without relying on the
+// caller to clean up.
+func TestHeapPopClearsIndex(t *testing.T) {
+	var h eventHeap
+	a := &Event{When: 1}
+	b := &Event{When: 2}
+	heap.Push(&h, a)
+	heap.Push(&h, b)
+	got := heap.Pop(&h).(*Event)
+	if got != a {
+		t.Fatalf("popped %v, want earliest", got)
+	}
+	if a.idx != -1 {
+		t.Fatalf("Pop left idx = %d, want -1", a.idx)
+	}
+	// heap.Remove of the last element also bottoms out in Pop.
+	heap.Remove(&h, b.idx)
+	if b.idx != -1 {
+		t.Fatalf("Remove left idx = %d, want -1", b.idx)
+	}
+}
+
+// TestEventPoolReuses verifies fired and cancelled events return to the
+// free list and are recycled instead of allocated.
+func TestEventPoolReuses(t *testing.T) {
+	k := NewKernel()
+	h := &countHandler{}
+	e1 := k.Schedule(5, h, 1, 0, false, nil)
+	k.Run(0)
+	if h.fired != 1 {
+		t.Fatalf("fired %d, want 1", h.fired)
+	}
+	e2 := k.Schedule(10, h, 2, 0, false, nil)
+	if e2 != e1 {
+		t.Fatalf("second schedule did not recycle the fired event object")
+	}
+	k.Cancel(e2)
+	e3 := k.At(15, func(Tick) {})
+	if e3 != e2 {
+		t.Fatalf("schedule after cancel did not recycle the cancelled event object")
+	}
+	k.Run(0)
+}
+
+// TestCancelDoesNotResurrect is the satellite's safety property: cancelling
+// a pooled event and then scheduling a new one must fire only the new
+// callback — the recycled object must not retain the cancelled event's
+// handler, payload, or callback.
+func TestCancelDoesNotResurrect(t *testing.T) {
+	k := NewKernel()
+	old := &countHandler{}
+	e := k.Schedule(5, old, 42, 7, true, "stale")
+	k.Cancel(e)
+
+	fresh := &countHandler{}
+	e2 := k.Schedule(5, fresh, 99, 0, false, nil)
+	if e2 != e {
+		t.Fatalf("expected the cancelled event object to be recycled")
+	}
+	k.Run(0)
+	if old.fired != 0 {
+		t.Fatalf("cancelled handler fired %d times", old.fired)
+	}
+	if fresh.fired != 1 || fresh.lastA0 != 99 || fresh.lastP != nil {
+		t.Fatalf("recycled event carried stale state: %+v", fresh)
+	}
+}
+
+// TestCancelFiredHandleIsInert documents the pool's handle-lifetime rule:
+// a handle that already fired refers to a free-listed object, and
+// cancelling it (before the object is recycled) must be a no-op.
+func TestCancelFiredHandleIsInert(t *testing.T) {
+	k := NewKernel()
+	h := &countHandler{}
+	e := k.Schedule(3, h, 0, 0, false, nil)
+	k.Run(0)
+	k.Cancel(e) // stale handle: object is on the free list
+	e2 := k.Schedule(8, h, 1, 0, false, nil)
+	if e2 != e {
+		t.Fatalf("free list lost the event to a stale Cancel")
+	}
+	k.Run(0)
+	if h.fired != 2 {
+		t.Fatalf("fired %d, want 2", h.fired)
+	}
+}
+
+// TestScheduleIsAllocationFree verifies the free list actually removes the
+// per-event allocation once the pool is primed.
+func TestScheduleIsAllocationFree(t *testing.T) {
+	k := NewKernel()
+	h := &countHandler{}
+	// Prime the pool.
+	for i := 0; i < 10; i++ {
+		k.Schedule(Tick(i), h, 0, 0, false, nil)
+	}
+	k.Run(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		k.Schedule(k.Now()+1, h, 0, 0, false, nil)
+		k.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled Schedule allocates %v per event", allocs)
+	}
+}
+
+// TestExecutedCounts verifies the kernel's executed-event counter, the
+// denominator of the events/sec throughput summary.
+func TestExecutedCounts(t *testing.T) {
+	k := NewKernel()
+	h := &countHandler{}
+	for i := 0; i < 5; i++ {
+		k.Schedule(Tick(i), h, 0, 0, false, nil)
+	}
+	e := k.Schedule(100, h, 0, 0, false, nil)
+	k.Cancel(e) // cancelled events never count as executed
+	k.Run(0)
+	if k.Executed() != 5 {
+		t.Fatalf("Executed() = %d, want 5", k.Executed())
+	}
+}

@@ -15,12 +15,31 @@ import "container/heap"
 // Tick is a point in simulated time, measured in CPU cycles.
 type Tick uint64
 
-// Event is a scheduled callback.
+// Handler is a reusable event callback. Unlike a closure passed to At, a
+// Handler is bound once and receives its per-firing payload through the
+// Event's A0/A1/B/P fields, so recurring callbacks schedule without
+// allocating.
+type Handler interface {
+	OnEvent(now Tick, e *Event)
+}
+
+// Event is a scheduled callback. Events are pooled: once an event fires or
+// is cancelled, its *Event handle is invalid — the kernel may recycle the
+// object for a later At/Schedule call. Holding a handle past that point and
+// cancelling it can affect an unrelated, recycled event.
 type Event struct {
 	When Tick
 	fn   func(Tick)
-	seq  uint64
-	idx  int
+	h    Handler
+
+	// Payload registers for Handler events: two scalars, a flag, and one
+	// reference. They are cleared when the event returns to the pool.
+	A0, A1 uint64
+	B      bool
+	P      any
+
+	seq uint64
+	idx int
 }
 
 type eventHeap []*Event
@@ -46,19 +65,35 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1 // the event is off the heap, whatever the caller does next
 	*h = old[:n-1]
 	return e
 }
 
+// noEvent is the cached next-event time of an empty queue.
+const noEvent = ^Tick(0)
+
 // Kernel owns simulated time and the pending-event queue.
 type Kernel struct {
-	now    Tick
-	seq    uint64
-	events eventHeap
+	now      Tick
+	next     Tick // cached k.events[0].When, noEvent when empty
+	seq      uint64
+	events   eventHeap
+	pool     []*Event // free list of fired/cancelled events
+	executed uint64
 }
 
 // NewKernel returns a kernel at cycle zero with no pending events.
-func NewKernel() *Kernel { return &Kernel{} }
+func NewKernel() *Kernel { return &Kernel{next: noEvent} }
+
+// syncNext refreshes the cached earliest-deadline after a heap mutation.
+func (k *Kernel) syncNext() {
+	if len(k.events) > 0 {
+		k.next = k.events[0].When
+	} else {
+		k.next = noEvent
+	}
+}
 
 // Now returns the current simulated cycle.
 func (k *Kernel) Now() Tick { return k.now }
@@ -66,16 +101,47 @@ func (k *Kernel) Now() Tick { return k.now }
 // Pending returns the number of scheduled events.
 func (k *Kernel) Pending() int { return len(k.events) }
 
-// At schedules fn to run at the given absolute cycle. Scheduling in the
-// past runs the event at the current cycle instead (never travels back).
-func (k *Kernel) At(when Tick, fn func(Tick)) *Event {
+// Executed returns the number of events run since construction.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// get takes an event from the free list, or allocates one.
+func (k *Kernel) get() *Event {
+	if n := len(k.pool); n > 0 {
+		e := k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// release clears an event's callback and payload and returns it to the free
+// list. Clearing matters: a recycled event must never be able to fire a
+// stale callback or leak a stale reference through P.
+func (k *Kernel) release(e *Event) {
+	*e = Event{idx: -1}
+	k.pool = append(k.pool, e)
+}
+
+// schedule inserts a prepared event, assigning its sequence number.
+func (k *Kernel) schedule(e *Event, when Tick) *Event {
 	if when < k.now {
 		when = k.now
 	}
-	e := &Event{When: when, fn: fn, seq: k.seq}
+	e.When = when
+	e.seq = k.seq
 	k.seq++
 	heap.Push(&k.events, e)
+	k.syncNext()
 	return e
+}
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the
+// past runs the event at the current cycle instead (never travels back).
+func (k *Kernel) At(when Tick, fn func(Tick)) *Event {
+	e := k.get()
+	e.fn = fn
+	return k.schedule(e, when)
 }
 
 // After schedules fn to run delay cycles from now.
@@ -83,14 +149,27 @@ func (k *Kernel) After(delay Tick, fn func(Tick)) *Event {
 	return k.At(k.now+delay, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Schedule schedules a Handler with its payload at the given absolute
+// cycle. The event comes from the kernel's free list, so steady-state
+// scheduling of bound handlers performs no allocation.
+func (k *Kernel) Schedule(when Tick, h Handler, a0, a1 uint64, b bool, p any) *Event {
+	e := k.get()
+	e.h = h
+	e.A0, e.A1, e.B, e.P = a0, a1, b, p
+	return k.schedule(e, when)
+}
+
+// Cancel removes a pending event and recycles it. Cancelling an event
+// whose handle has already fired or been cancelled is a no-op only as long
+// as the object has not been recycled; do not hold handles past the
+// event's lifetime.
 func (k *Kernel) Cancel(e *Event) {
 	if e == nil || e.idx < 0 || e.idx >= len(k.events) || k.events[e.idx] != e {
 		return
 	}
 	heap.Remove(&k.events, e.idx)
-	e.idx = -1
+	k.syncNext()
+	k.release(e)
 }
 
 // Step runs the next pending event, advancing time to it. It reports
@@ -100,9 +179,15 @@ func (k *Kernel) Step() bool {
 		return false
 	}
 	e := heap.Pop(&k.events).(*Event)
-	e.idx = -1
+	k.syncNext()
 	k.now = e.When
-	e.fn(k.now)
+	k.executed++
+	if e.h != nil {
+		e.h.OnEvent(k.now, e)
+	} else {
+		e.fn(k.now)
+	}
+	k.release(e)
 	return true
 }
 
@@ -125,6 +210,18 @@ func (k *Kernel) Run(limit Tick) int {
 // scheduled beyond it. Events due at or before the target fire first.
 // Advancing to the past is a no-op.
 func (k *Kernel) Advance(to Tick) {
+	if to >= k.next {
+		k.advanceSlow(to)
+		return
+	}
+	if to > k.now {
+		k.now = to
+	}
+}
+
+// advanceSlow is Advance's event-draining path, split out so the common
+// empty-queue Advance call inlines into the per-reference loop.
+func (k *Kernel) advanceSlow(to Tick) {
 	for len(k.events) > 0 && k.events[0].When <= to {
 		k.Step()
 	}

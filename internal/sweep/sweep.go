@@ -55,6 +55,10 @@ type Progress struct {
 	// ETA extrapolates the remaining wall-clock time from the mean job
 	// duration so far (zero once the sweep finishes).
 	ETA time.Duration
+	// Summary is an optional one-line, human-readable annotation. The
+	// sweep engine leaves it empty; single-run throughput reporting
+	// (taglessdram.Run) fills it with a refs/sec, events/sec line.
+	Summary string
 }
 
 // Options configures a sweep.

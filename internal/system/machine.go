@@ -41,12 +41,32 @@ type coreCtx struct {
 	// filter (CHOP-style); nil unless the filter is enabled.
 	hotCount map[uint64]uint32
 
+	// Last-translation memo: the most recent present PTE this core
+	// resolved. Valid forever once set — page-table entries are never
+	// unmapped and PTE pointers are stable — so the classification paths
+	// in step reuse one resolution instead of repeated table probes.
+	memoVPN uint64
+	memoPTE *mmu.PTE
+
 	// pteCache models the MMU's translation-cache for leaf PTE lines
 	// (memory-walk model only).
 	pteCache *cache.Cache
 
 	startCycle sim.Tick
 	startInstr uint64
+}
+
+// lookup resolves vpn's PTE through the core's last-translation memo.
+// Only present entries are memoized (absent vpns can appear later).
+func (cc *coreCtx) lookup(vpn uint64) (*mmu.PTE, bool) {
+	if cc.memoPTE != nil && cc.memoVPN == vpn {
+		return cc.memoPTE, true
+	}
+	pte, ok := cc.pt.Lookup(vpn)
+	if ok {
+		cc.memoVPN, cc.memoPTE = vpn, pte
+	}
+	return pte, ok
 }
 
 // Machine is one simulated system: cores, TLBs, on-die caches, the chosen
@@ -68,12 +88,22 @@ type Machine struct {
 
 	cachePages   uint64
 	spPages      uint64            // superpage region size in pages (1 = disabled)
+	spMask       uint64            // spPages-1 (spPages is a power of two)
+	spShift      uint              // log2(spPages)
+	caShift      uint              // log2(spPages*PageSize): CA bytes → block number
+	idealMask    uint64            // CacheSize-1 when a power of two, else 0
 	sharedFrames map[uint64]uint64 // shared VPN → PPN (inter-process pages)
 	offRatio     uint64            // off-package/in-package capacity ratio (BI stride)
 	giptBase     uint64            // off-package byte address of the GIPT region
 	giptRegion   uint64
 	giptCursor   uint64
 	ncThreshold  int
+
+	// Scheduler state: scratch slice reused by runPhase (heap or scan
+	// order), and a test switch pinning the O(cores) scan.
+	sched     []*coreCtx
+	forceScan bool
+	refs      uint64 // trace references processed (all phases)
 
 	// Measurement state.
 	measuring  bool
@@ -227,6 +257,23 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("system: unknown design %v", cfg.Design)
 	}
+
+	// Strength-reduce the hot-path divisions. Superpage region sizes are
+	// powers of two by construction; cache capacity is unless overridden.
+	if m.ctrl != nil {
+		if m.spPages&(m.spPages-1) != 0 {
+			return nil, fmt.Errorf("system: superpage region of %d pages is not a power of two", m.spPages)
+		}
+		m.spMask = m.spPages - 1
+		for p := m.spPages; p > 1; p >>= 1 {
+			m.spShift++
+		}
+		m.caShift = m.spShift + 12 // log2(spPages * config.PageSize)
+	}
+	if cs := uint64(cfg.CacheSize); cs > 0 && cs&(cs-1) == 0 {
+		m.idealMask = cs - 1
+	}
+	m.sched = make([]*coreCtx, 0, len(m.cores))
 	return m, nil
 }
 

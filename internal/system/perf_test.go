@@ -1,0 +1,114 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"taglessdram/internal/config"
+)
+
+// benchStepMachine builds the standard hot-path metering rig: the default
+// machine at 64× scale running libquantum, whose streaming working set
+// reaches steady state quickly (no fills, no faults, no events in the
+// measured window), so the benchmark isolates the per-reference path.
+func benchStepMachine(tb testing.TB, design config.L3Design) *Machine {
+	tb.Helper()
+	cfg := config.Default()
+	cfg.Design = design
+	cfg.InPkg.SizeBytes >>= 6
+	cfg.OffPkg.SizeBytes >>= 6
+	cfg.CacheSize >>= 6
+	w, err := SingleProgram("libquantum", 6, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := New(cfg, w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// warmSteps brings the machine to steady state and drains pending events.
+func warmSteps(tb testing.TB, m *Machine, n int) {
+	tb.Helper()
+	if err := m.Steps(n); err != nil {
+		tb.Fatal(err)
+	}
+	m.kernel.Run(0)
+}
+
+// BenchmarkMachineStep meters one trace reference through the full
+// per-reference path (trace generation, TLB hierarchy, L1/L2, the
+// design-specific L3) per iteration. This is the PR's headline number:
+// steady state must be allocation-free, and the Tagless design must hold
+// its speedup over the pre-optimization baseline (see BENCH_step.json).
+func BenchmarkMachineStep(b *testing.B) {
+	for _, d := range []config.L3Design{
+		config.NoL3, config.BankInterleave, config.SRAMTag, config.Tagless, config.Ideal,
+	} {
+		b.Run(d.String(), func(b *testing.B) {
+			m := benchStepMachine(b, d)
+			warmSteps(b, m, 100_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := m.Steps(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStepAllocFree is the tentpole's allocation guard: after warm-up, the
+// per-reference loop of the Tagless and SRAM-tag designs must not allocate
+// at all. A regression here means a closure, map insert, or interface
+// boxing crept back into the hot path.
+func TestStepAllocFree(t *testing.T) {
+	for _, d := range []config.L3Design{config.Tagless, config.SRAMTag} {
+		t.Run(d.String(), func(t *testing.T) {
+			m := benchStepMachine(t, d)
+			warmSteps(t, m, 200_000)
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := m.Steps(2_000); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%v steady-state step allocates: %v allocs per 2000 references", d, allocs)
+			}
+		})
+	}
+}
+
+// TestSchedulerHeapMatchesScan verifies the indexed-min-heap core scheduler
+// is observationally identical to the original O(cores) scan: an 8-core
+// multi-threaded run (heap path) must produce exactly the same result as
+// the same run with the heap disabled (scan fallback).
+func TestSchedulerHeapMatchesScan(t *testing.T) {
+	run := func(forceScan bool) *Result {
+		cfg := config.Default()
+		cfg.Design = config.Tagless
+		cfg.CPU.Cores = 8
+		cfg.InPkg.SizeBytes >>= 6
+		cfg.OffPkg.SizeBytes >>= 6
+		cfg.CacheSize >>= 6
+		w, err := MultiThread("streamcluster", 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.forceScan = forceScan
+		r, err := m.Run(100_000, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	heap, scan := run(false), run(true)
+	if !reflect.DeepEqual(heap, scan) {
+		t.Fatalf("heap scheduler diverged from scan:\nheap: %+v\nscan: %+v", heap, scan)
+	}
+}

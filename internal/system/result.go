@@ -50,6 +50,13 @@ type Result struct {
 	MissKindCount [4]uint64
 	// SRAMHitRate is the page-cache hit rate (SRAM-tag design only).
 	SRAMHitRate float64
+
+	// References counts trace references processed over the whole run
+	// (warm-up and measured phases); KernelEvents counts discrete events
+	// the simulation kernel executed. Both are wall-clock throughput
+	// denominators, not paper metrics.
+	References   uint64
+	KernelEvents uint64
 }
 
 // collect assembles the Result after the measured phase.
@@ -139,6 +146,8 @@ func (m *Machine) collect() *Result {
 	r.OffPkgRowHitRate = m.offPkg.RowHitRate()
 	r.InPkgBytes = m.inPkg.BytesTransferred()
 	r.OffPkgBytes = m.offPkg.BytesTransferred()
+	r.References = m.refs
+	r.KernelEvents = m.kernel.Executed()
 	return r
 }
 

@@ -34,8 +34,39 @@ func (m *Machine) Run(warmup, measure uint64) (*Result, error) {
 }
 
 // runPhase advances every active core until it has retired `target`
-// instructions, interleaving cores in simulated-time order.
+// instructions, interleaving cores in simulated-time order. One runnable
+// core needs no ordering at all; small machines use a linear min-scan;
+// larger ones an indexed min-heap keyed by (core time, core id) — all three
+// pick the same core at every step (minimal time, lowest id on ties), so
+// the choice is a pure performance knob.
 func (m *Machine) runPhase(target uint64) error {
+	runnable := m.sched[:0]
+	for _, cc := range m.cores {
+		if cc.active && cc.cpu.Instructions < target {
+			runnable = append(runnable, cc)
+		}
+	}
+	m.sched = runnable
+	switch {
+	case len(runnable) == 0:
+		return nil
+	case len(runnable) == 1:
+		cc := runnable[0]
+		for cc.cpu.Instructions < target {
+			if err := m.step(cc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case len(runnable) <= 4 || m.forceScan:
+		return m.runPhaseScan(target)
+	default:
+		return m.runPhaseHeap(runnable, target)
+	}
+}
+
+// runPhaseScan is the O(cores) min-scan: cheapest for small machines.
+func (m *Machine) runPhaseScan(target uint64) error {
 	for {
 		var next *coreCtx
 		for _, cc := range m.cores {
@@ -53,6 +84,106 @@ func (m *Machine) runPhase(target uint64) error {
 			return err
 		}
 	}
+}
+
+// runPhaseHeap interleaves many cores through an indexed min-heap. Only the
+// stepped core's clock changes, so each step is one sift-down instead of a
+// full rescan.
+func (m *Machine) runPhaseHeap(h []*coreCtx, target uint64) error {
+	less := func(a, b *coreCtx) bool {
+		an, bn := a.cpu.Now(), b.cpu.Now()
+		if an != bn {
+			return an < bn
+		}
+		return a.id < b.id
+	}
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if r := c + 1; r < len(h) && less(h[r], h[c]) {
+				c = r
+			}
+			if !less(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 1 {
+		cc := h[0]
+		if err := m.step(cc); err != nil {
+			return err
+		}
+		if cc.cpu.Instructions >= target {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
+	}
+	cc := h[0]
+	for cc.cpu.Instructions < target {
+		if err := m.step(cc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Steps advances the machine by n trace references, interleaving active
+// cores in simulated-time order with no instruction target. It exists for
+// benchmarks and profiling harnesses that meter the per-reference path.
+func (m *Machine) Steps(n int) error {
+	var solo *coreCtx
+	for _, cc := range m.cores {
+		if !cc.active {
+			continue
+		}
+		if solo != nil {
+			solo = nil
+			break
+		}
+		solo = cc
+	}
+	if solo != nil {
+		for i := 0; i < n; i++ {
+			if err := m.step(solo); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		var next *coreCtx
+		for _, cc := range m.cores {
+			if !cc.active {
+				continue
+			}
+			if next == nil || cc.cpu.Now() < next.cpu.Now() {
+				next = cc
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		if err := m.step(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain fires every pending kernel event (controller daemons, in-flight
+// fills) without advancing any core. Benchmarks call it after warm-up so
+// the measured window starts from a quiesced event queue.
+func (m *Machine) Drain() {
+	m.kernel.Run(0)
 }
 
 // beginMeasurement resets all statistics at the warmup/measure boundary,
@@ -95,6 +226,7 @@ func (m *Machine) step(cc *coreCtx) error {
 	a := cc.gen.Next()
 	cc.cpu.Retire(a.Gap + 1)
 	m.kernel.Advance(cc.cpu.Now())
+	m.refs++
 	vpn := a.VAddr >> 12
 	write := a.Write
 
@@ -102,7 +234,7 @@ func (m *Machine) step(cc *coreCtx) error {
 	// first touch. Without the alias table, the tagless design marks them
 	// non-cacheable to avoid aliasing; PA-indexed designs share naturally.
 	if a.Shared {
-		if _, ok := cc.pt.Lookup(vpn); !ok {
+		if _, ok := cc.lookup(vpn); !ok {
 			ppn, err := m.sharedFrame(vpn)
 			if err != nil {
 				return err
@@ -127,7 +259,7 @@ func (m *Machine) step(cc *coreCtx) error {
 				pte.NC = true
 			}
 		} else if n == uint32(m.cfg.Tagless.HotFilterThreshold) {
-			if pte, ok := cc.pt.Lookup(vpn); ok && pte.NC && !pte.VC {
+			if pte, ok := cc.lookup(vpn); ok && pte.NC && !pte.VC {
 				pte.NC = false
 				// Shoot down the stale NC translation so the next miss
 				// fills the now-hot page into the cache.
@@ -141,14 +273,14 @@ func (m *Machine) step(cc *coreCtx) error {
 	// whole region for one block ("it would be safe to specify
 	// superpages as non-cacheable", Section 3.5).
 	if m.ctrl != nil && m.spPages > 1 && a.LowReuse {
-		if pte, ok := cc.pt.Lookup(vpn); !ok || (!pte.VC && !pte.NC) {
+		if pte, ok := cc.lookup(vpn); !ok || (!pte.VC && !pte.NC) {
 			_ = cc.pt.SetNonCacheable(vpn)
 		}
 	}
 
 	// Offline-profile non-cacheable classification (Section 5.4).
 	if m.ctrl != nil && m.ncThreshold > 0 && a.LowReuse {
-		if pte, ok := cc.pt.Lookup(vpn); !ok || (!pte.VC && !pte.NC) {
+		if pte, ok := cc.lookup(vpn); !ok || (!pte.VC && !pte.NC) {
 			// Best effort; a cached page stays cached.
 			_ = cc.pt.SetNonCacheable(vpn)
 		}
@@ -159,8 +291,8 @@ func (m *Machine) step(cc *coreCtx) error {
 	lookupKey := vpn
 	superKey := false
 	if m.spPages > 1 && vpn < trace.SingletonBase {
-		if pte, ok := cc.pt.Lookup(vpn); !ok || pte.Super {
-			lookupKey = spKeyBit | vpn/m.spPages
+		if pte, ok := cc.lookup(vpn); !ok || pte.Super {
+			lookupKey = spKeyBit | vpn>>m.spShift
 			superKey = true
 		}
 	}
@@ -173,7 +305,7 @@ func (m *Machine) step(cc *coreCtx) error {
 		if m.ctrl != nil {
 			regionOff := a.VAddr & (config.PageSize - 1)
 			if superKey {
-				regionOff = (vpn%m.spPages)*config.PageSize + regionOff
+				regionOff = (vpn&m.spMask)*config.PageSize + regionOff
 			}
 			e, d, kind, err := m.ctrl.HandleTLBMiss(start, cc.id, cc.pt, vpn, regionOff)
 			if err != nil {
@@ -214,8 +346,7 @@ func (m *Machine) step(cc *coreCtx) error {
 	switch {
 	case m.ctrl != nil && !entry.NC && superKey:
 		// Superpage region: Frame is the region CA.
-		regionBytes := m.spPages * config.PageSize
-		key = entry.Frame*regionBytes + (vpn%m.spPages)*config.PageSize + offset
+		key = entry.Frame<<m.caShift + (vpn&m.spMask)*config.PageSize + offset
 	case m.ctrl != nil && !entry.NC:
 		key = entry.Frame*config.PageSize + offset // CA space
 	case m.ctrl != nil:
@@ -308,14 +439,25 @@ func (m *Machine) l3Access(cc *coreCtx, entry tlb.Entry, key, offset uint64, wri
 			return
 		}
 		// cTLB hit guarantees a cache hit: bare in-package block access.
-		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
-			m.ctrl.Touch(at, key/(m.spPages*config.PageSize), write)
-			return m.inPkg.Access(at, key, config.BlockSize, kind).Done
-		})
+		// Inlined issueBlock: this is the design's hottest L3 path.
+		var at sim.Tick
+		if dep {
+			at = cc.cpu.Now()
+		} else {
+			at = cc.cpu.ReserveMSHR()
+		}
+		m.ctrl.Touch(at, key>>m.caShift, write)
+		done := m.inPkg.Access(at, key, config.BlockSize, kind).Done
+		if dep {
+			cc.cpu.Serialize(done)
+		} else {
+			cc.cpu.CompleteMSHR(done)
+		}
+		m.observeL3(done-at, true)
 
 	case config.Ideal:
 		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
-			return m.inPkg.Access(at, key%uint64(m.cfg.CacheSize), config.BlockSize, kind).Done
+			return m.inPkg.Access(at, m.idealAddr(key), config.BlockSize, kind).Done
 		})
 
 	case config.AlloyBlock:
@@ -382,6 +524,15 @@ func (m *Machine) sramAccess(cc *coreCtx, ppn, offset uint64, write, dep bool) {
 	m.observeL3(crit.Done-at, false)
 }
 
+// idealAddr folds a physical address into the ideal design's in-package
+// capacity (mask when the capacity is a power of two, modulo otherwise).
+func (m *Machine) idealAddr(key uint64) uint64 {
+	if m.idealMask != 0 {
+		return key & m.idealMask
+	}
+	return key % uint64(m.cfg.CacheSize)
+}
+
 // observeL3 records one L3 access's device-side latency and hit/miss.
 func (m *Machine) observeL3(lat sim.Tick, hit bool) {
 	if !m.measuring {
@@ -422,9 +573,9 @@ func (m *Machine) writebackBlock(cc *coreCtx, key uint64) {
 			return
 		}
 		m.inPkg.Access(at, key, config.BlockSize, dram.Write)
-		m.ctrl.Touch(at, key/(m.spPages*config.PageSize), true)
+		m.ctrl.Touch(at, key>>m.caShift, true)
 	case config.Ideal:
-		m.inPkg.Access(at, key%uint64(m.cfg.CacheSize), config.BlockSize, dram.Write)
+		m.inPkg.Access(at, m.idealAddr(key), config.BlockSize, dram.Write)
 	case config.AlloyBlock:
 		if m.alloy.MarkDirty(key) {
 			slot, _ := m.alloy.Lookup(key, true)

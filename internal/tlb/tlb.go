@@ -20,18 +20,30 @@ type Entry struct {
 	NC    bool
 }
 
-type slot struct {
-	vpn   uint64
-	entry Entry
-	valid bool
-	used  uint64
-}
+// invalidVPN marks an empty slot. Real vpns (including superpage lookup
+// keys, which set bit 61) stay below 2^62, so the sentinel cannot collide.
+const invalidVPN = ^uint64(0)
 
-// TLB is one set-associative translation buffer with LRU replacement.
+// TLB is one set-associative translation buffer with LRU replacement. Slots
+// are stored structure-of-arrays so the lookup path scans only the set's
+// vpn words; invalid slots carry a sentinel vpn.
 type TLB struct {
-	cfg  config.TLBConfig
-	sets [][]slot
-	tick uint64
+	cfg    config.TLBConfig
+	ways   int
+	nsets  int
+	vpns   []uint64 // set-major: vpns[si*ways+w]
+	frames []uint64
+	nc     []bool
+	used   []uint64
+	tick   uint64
+	mask   uint64
+
+	// Same-page memo: lastIdx is the slot that served the previous hit. A
+	// repeat lookup of the same vpn skips the set scan. The memo is only
+	// trusted when vpns[lastIdx] still holds that vpn, so evictions and
+	// invalidations cannot make it lie.
+	lastVPN uint64
+	lastIdx int
 
 	Accesses  uint64
 	Hits      uint64
@@ -45,9 +57,22 @@ func New(cfg config.TLBConfig) *TLB {
 	if nsets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("tlb: bad geometry %+v", cfg))
 	}
-	t := &TLB{cfg: cfg, sets: make([][]slot, nsets)}
-	for i := range t.sets {
-		t.sets[i] = make([]slot, cfg.Ways)
+	n := nsets * cfg.Ways
+	t := &TLB{
+		cfg:    cfg,
+		ways:   cfg.Ways,
+		nsets:  nsets,
+		vpns:   make([]uint64, n),
+		frames: make([]uint64, n),
+		nc:     make([]bool, n),
+		used:   make([]uint64, n),
+	}
+	for i := range t.vpns {
+		t.vpns[i] = invalidVPN
+	}
+	t.mask = uint64(nsets - 1)
+	if nsets&(nsets-1) != 0 {
+		t.mask = 0 // fall back to modulo for non-power-of-two set counts
 	}
 	return t
 }
@@ -55,20 +80,31 @@ func New(cfg config.TLBConfig) *TLB {
 // Config returns the TLB configuration.
 func (t *TLB) Config() config.TLBConfig { return t.cfg }
 
-func (t *TLB) set(vpn uint64) []slot {
-	return t.sets[int(vpn%uint64(len(t.sets)))]
+func (t *TLB) setBase(vpn uint64) int {
+	if t.mask != 0 {
+		return int(vpn&t.mask) * t.ways
+	}
+	return int(vpn%uint64(t.nsets)) * t.ways
 }
 
 // Lookup searches for vpn, updating LRU state and hit/miss counters.
 func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
 	t.Accesses++
 	t.tick++
-	set := t.set(vpn)
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
+	if vpn == t.lastVPN && t.vpns[t.lastIdx] == vpn {
+		t.Hits++
+		i := t.lastIdx
+		t.used[i] = t.tick
+		return Entry{Frame: t.frames[i], NC: t.nc[i]}, true
+	}
+	base := t.setBase(vpn)
+	for w, v := range t.vpns[base : base+t.ways] {
+		if v == vpn {
 			t.Hits++
-			set[i].used = t.tick
-			return set[i].entry, true
+			i := base + w
+			t.lastVPN, t.lastIdx = vpn, i
+			t.used[i] = t.tick
+			return Entry{Frame: t.frames[i], NC: t.nc[i]}, true
 		}
 	}
 	t.Misses++
@@ -77,10 +113,11 @@ func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
 
 // Peek reports presence without perturbing LRU state or counters.
 func (t *TLB) Peek(vpn uint64) (Entry, bool) {
-	set := t.set(vpn)
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			return set[i].entry, true
+	base := t.setBase(vpn)
+	for w, v := range t.vpns[base : base+t.ways] {
+		if v == vpn {
+			i := base + w
+			return Entry{Frame: t.frames[i], NC: t.nc[i]}, true
 		}
 	}
 	return Entry{}, false
@@ -90,38 +127,49 @@ func (t *TLB) Peek(vpn uint64) (Entry, bool) {
 // translation. Inserting an existing vpn overwrites it with no eviction.
 func (t *TLB) Insert(vpn uint64, e Entry) (evictedVPN uint64, evicted Entry, didEvict bool) {
 	t.tick++
-	set := t.set(vpn)
+	base := t.setBase(vpn)
 	vi := -1
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i].entry = e
-			set[i].used = t.tick
+	for w, v := range t.vpns[base : base+t.ways] {
+		if v == vpn {
+			i := base + w
+			t.frames[i] = e.Frame
+			t.nc[i] = e.NC
+			t.used[i] = t.tick
 			return 0, Entry{}, false
 		}
-		if !set[i].valid && vi == -1 {
-			vi = i
+		if v == invalidVPN && vi == -1 {
+			vi = w
 		}
 	}
 	if vi == -1 {
 		vi = 0
-		for i := range set {
-			if set[i].used < set[vi].used {
-				vi = i
+		for w := 1; w < t.ways; w++ {
+			if t.used[base+w] < t.used[base+vi] {
+				vi = w
 			}
 		}
-		evictedVPN, evicted, didEvict = set[vi].vpn, set[vi].entry, true
+		i := base + vi
+		evictedVPN, evicted, didEvict = t.vpns[i], Entry{Frame: t.frames[i], NC: t.nc[i]}, true
 		t.Evictions++
 	}
-	set[vi] = slot{vpn: vpn, entry: e, valid: true, used: t.tick}
+	i := base + vi
+	t.vpns[i] = vpn
+	t.frames[i] = e.Frame
+	t.nc[i] = e.NC
+	t.used[i] = t.tick
 	return evictedVPN, evicted, didEvict
 }
 
 // Invalidate drops vpn if present and reports whether it was.
 func (t *TLB) Invalidate(vpn uint64) bool {
-	set := t.set(vpn)
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i] = slot{}
+	base := t.setBase(vpn)
+	for w, v := range t.vpns[base : base+t.ways] {
+		if v == vpn {
+			i := base + w
+			t.vpns[i] = invalidVPN
+			t.frames[i] = 0
+			t.nc[i] = false
+			t.used[i] = 0
 			return true
 		}
 	}
@@ -131,10 +179,12 @@ func (t *TLB) Invalidate(vpn uint64) bool {
 // Update rewrites the entry for vpn in place (e.g. remapping CA→PA during a
 // shootdown) and reports whether vpn was present.
 func (t *TLB) Update(vpn uint64, e Entry) bool {
-	set := t.set(vpn)
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i].entry = e
+	base := t.setBase(vpn)
+	for w, v := range t.vpns[base : base+t.ways] {
+		if v == vpn {
+			i := base + w
+			t.frames[i] = e.Frame
+			t.nc[i] = e.NC
 			return true
 		}
 	}
@@ -144,11 +194,9 @@ func (t *TLB) Update(vpn uint64, e Entry) bool {
 // Occupancy returns the number of valid entries.
 func (t *TLB) Occupancy() int {
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, v := range t.vpns {
+		if v != invalidVPN {
+			n++
 		}
 	}
 	return n
@@ -156,10 +204,11 @@ func (t *TLB) Occupancy() int {
 
 // Flush invalidates everything.
 func (t *TLB) Flush() {
-	for si := range t.sets {
-		for i := range t.sets[si] {
-			t.sets[si][i] = slot{}
-		}
+	for i := range t.vpns {
+		t.vpns[i] = invalidVPN
+		t.frames[i] = 0
+		t.nc[i] = false
+		t.used[i] = 0
 	}
 }
 

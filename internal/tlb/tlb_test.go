@@ -139,8 +139,8 @@ func TestNewPanicsOnBadGeometry(t *testing.T) {
 func TestDefaultGeometry(t *testing.T) {
 	c := config.Default()
 	l1 := New(c.L1TLB)
-	if len(l1.sets) != 8 || l1.Config().Ways != 4 {
-		t.Fatalf("L1 TLB geometry: %d sets x %d ways", len(l1.sets), l1.Config().Ways)
+	if l1.nsets != 8 || l1.Config().Ways != 4 {
+		t.Fatalf("L1 TLB geometry: %d sets x %d ways", l1.nsets, l1.Config().Ways)
 	}
 }
 

@@ -36,6 +36,10 @@ func Sweep(ctx context.Context, jobs []Job, workers int) ([]*Result, error) {
 // failing (workload, design) pair.
 func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, error) {
 	return sweep.Run(ctx, jobs, func(_ context.Context, j Job) (*Result, error) {
+		// Per-run throughput summaries would arrive unserialized from
+		// worker goroutines; the sweep engine's own OnProgress is the
+		// single reporting channel for sweeps.
+		j.Options.Progress = nil
 		r, err := Run(j.Design, j.Workload, j.Options)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)

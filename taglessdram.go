@@ -18,6 +18,7 @@ package taglessdram
 
 import (
 	"fmt"
+	"time"
 
 	"taglessdram/internal/config"
 	"taglessdram/internal/system"
@@ -114,7 +115,10 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, is called after each simulation of a sweep
 	// completes (done/total counts, elapsed wall time, ETA). Calls are
-	// serialized but may come from worker goroutines.
+	// serialized but may come from worker goroutines. A single Run calls
+	// it once, after the simulation finishes, with a one-line throughput
+	// summary (trace references and kernel events per wall-clock second)
+	// in the Summary field.
 	Progress func(SweepProgress)
 }
 
@@ -204,7 +208,22 @@ func Run(design Design, workload string, o Options) (*Result, error) {
 	if o.Warmup == 0 {
 		o.Warmup = o.Measure
 	}
-	return m.Run(o.Warmup, o.Measure)
+	start := time.Now()
+	r, err := m.Run(o.Warmup, o.Measure)
+	if err == nil && o.Progress != nil {
+		wall := time.Since(start)
+		var refsPerSec, eventsPerSec float64
+		if secs := wall.Seconds(); secs > 0 {
+			refsPerSec = float64(r.References) / secs
+			eventsPerSec = float64(r.KernelEvents) / secs
+		}
+		o.Progress(SweepProgress{
+			Done: 1, Total: 1, Elapsed: wall,
+			Summary: fmt.Sprintf("%s/%v: %.2fM refs/s, %.2fM events/s",
+				workload, design, refsPerSec/1e6, eventsPerSec/1e6),
+		})
+	}
+	return r, err
 }
 
 // SPECWorkloads lists the 11 single-programmed workloads (Figure 7 order).
