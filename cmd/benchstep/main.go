@@ -117,6 +117,7 @@ func main() {
 	}
 	for _, d := range []config.L3Design{
 		config.NoL3, config.BankInterleave, config.SRAMTag, config.Tagless, config.Ideal,
+		config.Banshee,
 	} {
 		dr, err := meter(d, *refs, *reps, *warm)
 		if err != nil {

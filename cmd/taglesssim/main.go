@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		design   = flag.String("design", "cTLB", "NoL3 | BI | SRAM | cTLB | Ideal")
+		design   = flag.String("design", "cTLB", "NoL3 | BI | SRAM | cTLB | Ideal | Alloy | Banshee")
 		workload = flag.String("workload", "sphinx3", "SPEC program, MIX1-MIX8, or PARSEC program")
 		warmup   = flag.Uint64("warmup", 3_000_000, "warm-up instructions per core")
 		measure  = flag.Uint64("measure", 3_000_000, "measured instructions per core")
@@ -111,12 +111,14 @@ func main() {
 }
 
 func parseDesign(s string) (taglessdram.Design, error) {
-	for _, d := range taglessdram.Designs() {
+	names := make([]string, 0, 8)
+	for _, d := range taglessdram.Organizations() {
 		if strings.EqualFold(d.String(), s) {
 			return d, nil
 		}
+		names = append(names, d.String())
 	}
-	return 0, fmt.Errorf("unknown design %q (want NoL3, BI, SRAM, cTLB or Ideal)", s)
+	return 0, fmt.Errorf("unknown design %q (want %s)", s, strings.Join(names, ", "))
 }
 
 func fmtIPCs(xs []float64) string {

@@ -77,7 +77,7 @@ func designRows(workload string, designs []Design, res []*Result) ([]DesignRow, 
 // returns the rows in the serial order: all designs of workloads[0], then
 // workloads[1], and so on.
 func runDesignGrid(workloads []string, o Options) ([]DesignRow, error) {
-	designs := Designs()
+	designs := append(Designs(), o.ExtraDesigns...)
 	jobs := make([]Job, 0, len(workloads)*len(designs))
 	for _, wl := range workloads {
 		for _, d := range designs {
@@ -357,7 +357,7 @@ func RunTable2(o Options, workload string) ([]Table2Row, error) {
 	if workload == "" {
 		workload = "MIX3"
 	}
-	designs := []Design{AlloyBlock, SRAMTag, Tagless}
+	designs := []Design{AlloyBlock, Banshee, SRAMTag, Tagless}
 	jobs := []Job{{Design: NoL3, Workload: workload, Options: o}}
 	for _, d := range designs {
 		jobs = append(jobs, Job{Design: d, Workload: workload, Options: o})
@@ -386,6 +386,10 @@ func RunTable2(o Options, workload string) ([]Table2Row, error) {
 		case AlloyBlock:
 			// Tags live in DRAM: 8B per 64B line (the 128MB/GB problem).
 			row.TagInDRAMMB = float64(config.BlockTagBytes(paperCache)) / float64(config.MB)
+		case Banshee:
+			// Mapping metadata lives in the page tables: 8B per cached
+			// page, buffered on-die in a small tag buffer.
+			row.TagInDRAMMB = float64((int64(cfg.CachePages())<<o.Shift)*8) / float64(config.MB)
 		}
 		if base.IPC > 0 {
 			row.NormalizedIPC = r.IPC / base.IPC

@@ -59,6 +59,16 @@ var golden = map[string]string{
 	"streamcluster/Ideal": `cyc=185533 in=800048 ipc=4.312160100898493 pc=[1.127304494856982 1.134794103963598 1.0780400252246232 1.0882815433082862] l3=9797,9797,1,197.75186281514831 tlb=25808,354,0.013716676999380038 nc=0 e=0.0012368866666666667,3.38278096e-05,0,0 edp=7.858648964172783e-08 row=0.9882784629497503,0 b=627008,0 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
 }
 
+// goldenBanshee pins the Banshee baseline (registered through the
+// internal/org registry but not part of the paper's five plotted designs,
+// so it is fingerprinted separately from the design grid above).
+var goldenBanshee = map[string]string{
+	"sphinx3/Banshee":       `cyc=265426 in=800120 ipc=3.0144748442126996 pc=[0.777763952936785 0.7570012110202846 0.7536187110531749 0.7924333960582352] l3=6332,5903,0.9322488945041061,276.8957675300051 tlb=28920,216,0.007468879668049793 nc=0 e=0.0017695066666666666,7.8997288e-05,0.00023766631199999998,0 edp=1.8457460973342223e-07 row=0.8371372676882948,0.6640746500777605 b=1250240,887808 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"GemsFDTD/Banshee":      `cyc=417819 in=800000 ipc=1.9147046927018638 pc=[0.5002025820457285 0.4998213138802878 0.47867617317546596 0.4904437044193882] l3=10452,9755,0.9333141982395714,309.7105817068497 tlb=32000,369,0.01153125 nc=0 e=0.00278546,0.0001150317696,0.000367201296,0 edp=4.5510141632530877e-07 row=0.9057145686837674,0.64 b=1967808,1369664 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"MIX1/Banshee":          `cyc=614877 in=800007 ipc=1.3010846071653355 pc=[0.3452156562204409 0.3445937796157491 0.5386859308461209 0.3253170959395131] l3=10277,9835,0.9569913398851805,445.6015374136413 tlb=43379,224,0.005163788930127481 nc=0 e=0.00409918,0.00010194524159999999,0.0002433282,0 edp=9.109307329368945e-07 row=0.8413013291013688,0.6606060606060606 b=1522368,908800 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+	"streamcluster/Banshee": `cyc=262479 in=800048 ipc=3.0480457484217784 pc=[0.8556004243523493 0.8259975386750142 0.7620114371054446 0.801034874965958] l3=9446,9221,0.9761803938174889,301.2601100995134 tlb=25808,350,0.013561686298822071 nc=0 e=0.00174986,6.57790448e-05,0.000122916216,0 edp=1.696100154331744e-07 row=0.9108518835616438,0.6567164179104478 b=1040704,458944 ctrl={Walks:0 NonCacheable:0 VictimHits:0 ColdFills:0 PendingWaits:0 AliasHits:0 Rescues:0 Evictions:0 Writebacks:0 SyncEvictions:0 Shootdowns:0} km=[0 0 0 0] kc=[0 0 0 0] sram=0`,
+}
+
 // goldenVariants cover the tagless design's feature knobs: replacement
 // policies, superpages, the alias table, hot-page filtering, NC
 // classification, eviction pressure, memory-modeled walks, and
@@ -103,6 +113,20 @@ func TestGoldenDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+	for key, want := range goldenBanshee {
+		key, want := key, want
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			wl := key[:len(key)-len("/Banshee")]
+			r, err := taglessdram.Run(taglessdram.Banshee, wl, goldenOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(r); got != want {
+				t.Errorf("fingerprint changed:\n got: %s\nwant: %s", got, want)
+			}
+		})
 	}
 	for name, v := range goldenVariants {
 		t.Run("variant/"+name, func(t *testing.T) {

@@ -185,6 +185,12 @@ const (
 	// is not part of the paper's five plotted designs but completes the
 	// block-based vs page-based vs tagless comparison.
 	AlloyBlock
+	// Banshee is a Banshee-style page-granularity cache (Yu et al., see
+	// PAPERS.md): TLB-carried mappings like the tagless design, but with
+	// frequency-based replacement, fill-after-N-touches bandwidth
+	// filtering, and a small tag buffer for recent remappings. Like
+	// AlloyBlock it is an extra baseline, not one of the paper's five.
+	Banshee
 )
 
 // String implements fmt.Stringer.
@@ -202,6 +208,8 @@ func (d L3Design) String() string {
 		return "Ideal"
 	case AlloyBlock:
 		return "Alloy"
+	case Banshee:
+		return "Banshee"
 	default:
 		return fmt.Sprintf("L3Design(%d)", int(d))
 	}

@@ -146,6 +146,7 @@ func TestCloneIsIndependent(t *testing.T) {
 func TestDesignStrings(t *testing.T) {
 	want := map[L3Design]string{
 		NoL3: "NoL3", BankInterleave: "BI", SRAMTag: "SRAM", Tagless: "cTLB", Ideal: "Ideal",
+		AlloyBlock: "Alloy", Banshee: "Banshee",
 	}
 	for d, s := range want {
 		if d.String() != s {

@@ -106,14 +106,16 @@ func (c *BlockCache) Contains(addr uint64) bool {
 	return c.sets[s].valid && c.sets[s].tag == tag
 }
 
-// MarkDirty sets the dirty bit if the block is resident.
-func (c *BlockCache) MarkDirty(addr uint64) bool {
+// MarkDirty sets the dirty bit if the block is resident, returning the
+// slot it occupies so write-back traffic can be routed without a second
+// probe (Lookup would inflate the Lookups/Hits counters).
+func (c *BlockCache) MarkDirty(addr uint64) (slot uint64, ok bool) {
 	s, tag := c.slotOf(addr)
 	if c.sets[s].valid && c.sets[s].tag == tag {
 		c.sets[s].dirty = true
-		return true
+		return s, true
 	}
-	return false
+	return 0, false
 }
 
 // HitRate returns hits/lookups, or 0 before any lookup.

@@ -67,12 +67,16 @@ func TestBlockCacheTADAddrInRange(t *testing.T) {
 
 func TestBlockCacheMarkDirty(t *testing.T) {
 	c := tinyBlock()
-	if c.MarkDirty(0x40) {
+	if _, ok := c.MarkDirty(0x40); ok {
 		t.Fatal("marked absent block dirty")
 	}
-	c.Fill(0x40, false)
-	if !c.MarkDirty(0x40) {
+	wantSlot, _, _ := c.Fill(0x40, false)
+	slot, ok := c.MarkDirty(0x40)
+	if !ok {
 		t.Fatal("mark dirty missed resident block")
+	}
+	if slot != wantSlot {
+		t.Fatalf("MarkDirty slot = %d, Fill slot = %d", slot, wantSlot)
 	}
 	_, v, _ := c.Fill(0x40+8*64, false)
 	if !v.Dirty {

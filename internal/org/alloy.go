@@ -1,0 +1,67 @@
+package org
+
+import (
+	"taglessdram/internal/config"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/dramcache"
+	"taglessdram/internal/sim"
+)
+
+func init() {
+	Register(config.AlloyBlock, func(p Ports) (Organization, error) {
+		return &Alloy{p: p, cache: dramcache.NewBlockCache(p.Cfg.CacheSize)}, nil
+	})
+}
+
+// Alloy is the block-based cache class of Table 2: one in-package TAD
+// read serves tag check and data together; a miss adds a serial
+// off-package block fetch (the Alloy SERIAL organization, no hit
+// predictor) and a background TAD fill plus any dirty-victim write-back.
+type Alloy struct {
+	p     Ports
+	cache *dramcache.BlockCache
+}
+
+// Access performs the TAD probe and the hit read or miss fill.
+func (o *Alloy) Access(r Request) {
+	kind := kindOf(r.Write)
+	slot, hit := o.cache.Lookup(r.Key, r.Write)
+	tad := o.cache.TADAddr(slot)
+	if hit {
+		issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
+			return o.p.InPkg.Access(at, tad, dramcache.TADBytes, kind).Done
+		})
+		return
+	}
+	_, victim, hasVictim := o.cache.Fill(r.Key, r.Write)
+	issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
+		res := o.p.InPkg.Access(at, tad, dramcache.TADBytes, dram.Read) // tag probe
+		off := o.p.OffPkg.Access(res.Done, r.Key, config.BlockSize, dram.Read)
+		// Fill and write-back stream in the background.
+		o.p.InPkg.Access(off.Done, tad, dramcache.TADBytes, dram.Write)
+		if hasVictim && victim.Dirty {
+			o.p.OffPkg.Access(off.Done, victim.BlockAddr, config.BlockSize, dram.Write)
+		}
+		return off.Done
+	})
+}
+
+// Writeback sinks the dirty victim into its TAD slot when resident
+// (MarkDirty confirms residence and returns the slot — no extra probe,
+// so Lookups/Hits stay untouched), off-package otherwise.
+func (o *Alloy) Writeback(at sim.Tick, key uint64) {
+	if slot, ok := o.cache.MarkDirty(key); ok {
+		o.p.InPkg.Access(at, o.cache.TADAddr(slot), config.BlockSize, dram.Write)
+	} else {
+		o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+	}
+}
+
+// ResetStats clears the block-cache counters.
+func (o *Alloy) ResetStats() { o.cache.ResetStats() }
+
+// Collect is a no-op: the block cache's counters feed no Result field.
+func (o *Alloy) Collect(*Stats) {}
+
+// Cache exposes the block cache for tests.
+func (o *Alloy) Cache() *dramcache.BlockCache { return o.cache }

@@ -1,0 +1,207 @@
+package org
+
+import (
+	"fmt"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/sim"
+)
+
+// Banshee model parameters, fixed at the reference design's values
+// (Yu et al., "Banshee: Bandwidth-Efficient DRAM Caching via
+// Software/Hardware Cooperation", see PAPERS.md). The design is
+// self-contained: adding it touched no other organization and no config
+// knob beyond the L3Design enum value.
+const (
+	// bansheeWays is the page cache's set associativity.
+	bansheeWays = 8
+	// bansheeFillThreshold is the bandwidth-efficient fill filter: a page
+	// is cached only after this many misses (and only when its frequency
+	// counter has caught up with the victim's), so streaming pages do not
+	// thrash the cache.
+	bansheeFillThreshold = 2
+	// bansheeTagBufEntries sizes the tag buffer that absorbs remappings
+	// before they are flushed to the in-memory page-table metadata.
+	bansheeTagBufEntries = 64
+	// bansheeTagEntryBytes is the per-remapping metadata written back on
+	// a tag-buffer flush (one PTE-sized update per remapped page).
+	bansheeTagEntryBytes = 8
+)
+
+func init() {
+	Register(config.Banshee, func(p Ports) (Organization, error) {
+		pages := p.Cfg.CachePages()
+		if pages%bansheeWays != 0 {
+			return nil, fmt.Errorf("org: banshee needs cache pages (%d) divisible by %d ways", pages, bansheeWays)
+		}
+		return &Banshee{
+			p:    p,
+			sets: make([]bansheeSlot, pages),
+			freq: make(map[uint64]uint32),
+		}, nil
+	})
+}
+
+type bansheeSlot struct {
+	ppn   uint64
+	valid bool
+	dirty bool
+	count uint32 // frequency counter (FBR metadata)
+}
+
+// Banshee is a Banshee-style page-granularity DRAM cache: page mappings
+// travel with the translation (like the tagless design, a hit needs no
+// tag probe), replacement is frequency-based, and a page is filled only
+// after bansheeFillThreshold misses whose counter beats the victim's —
+// trading hit rate for fill bandwidth. Remappings are buffered in a small
+// tag buffer and flushed to memory-resident metadata when it fills.
+type Banshee struct {
+	p          Ports
+	sets       []bansheeSlot // pages slots, bansheeWays per set
+	freq       map[uint64]uint32
+	tagBufUsed int
+
+	// Counters (reset at the measurement boundary; exported for tests).
+	Lookups    uint64
+	Hits       uint64
+	Fills      uint64
+	Bypasses   uint64
+	Writebacks uint64
+	TagFlushes uint64
+}
+
+// set returns ppn's set index and slot range.
+func (o *Banshee) set(ppn uint64) (uint64, []bansheeSlot) {
+	si := ppn % uint64(len(o.sets)/bansheeWays)
+	return si, o.sets[si*bansheeWays : (si+1)*bansheeWays]
+}
+
+// slotIndex converts (set, way) to the flat cache-frame index, which is
+// the page's address within the in-package device.
+func slotIndex(si uint64, way int) uint64 {
+	return si*bansheeWays + uint64(way)
+}
+
+// lookup finds ppn's way within its set, or -1.
+func lookupWay(set []bansheeSlot, ppn uint64) int {
+	for w := range set {
+		if set[w].valid && set[w].ppn == ppn {
+			return w
+		}
+	}
+	return -1
+}
+
+// victimWay picks the fill victim: the first invalid way, else the
+// minimum-frequency way (lowest way index on ties), per FBR.
+func victimWay(set []bansheeSlot) int {
+	vi := 0
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+		if set[w].count < set[vi].count {
+			vi = w
+		}
+	}
+	return vi
+}
+
+// Access serves the miss: resident pages are bare in-package block
+// accesses (the mapping came with the translation — no tag latency);
+// non-resident pages either fill (frequency caught up with the victim)
+// or bypass straight to off-package DRAM.
+func (o *Banshee) Access(r Request) {
+	kind := kindOf(r.Write)
+	ppn := r.Frame
+	si, set := o.set(ppn)
+	o.Lookups++
+	if w := lookupWay(set, ppn); w >= 0 {
+		s := &set[w]
+		o.Hits++
+		if s.count != ^uint32(0) {
+			s.count++
+		}
+		if r.Write {
+			s.dirty = true
+		}
+		slot := slotIndex(si, w)
+		issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
+			return o.p.InPkg.Access(at, slot*config.PageSize+r.Offset, config.BlockSize, kind).Done
+		})
+		return
+	}
+
+	n := o.freq[ppn] + 1
+	o.freq[ppn] = n
+	w := victimWay(set)
+	victim := &set[w]
+	if n >= bansheeFillThreshold && (!victim.valid || n >= victim.count) {
+		// Fill: critical block first, the requester resumes when its
+		// block arrives and the rest of the page streams in behind.
+		o.Fills++
+		at := r.CPU.Now()
+		slot := slotIndex(si, w)
+		if victim.valid && victim.dirty {
+			// Victim write-back happens in the background.
+			o.Writebacks++
+			rv := o.p.InPkg.Access(at, slot*config.PageSize, config.PageSize, dram.Read)
+			o.p.OffPkg.Access(rv.Done, victim.ppn*config.PageSize, config.PageSize, dram.Write)
+		}
+		base := ppn * config.PageSize
+		blockOff := r.Offset &^ (config.BlockSize - 1)
+		crit := o.p.OffPkg.Access(at, base+blockOff, config.BlockSize, dram.Read)
+		o.p.OffPkg.Access(crit.Done, base, config.PageSize-config.BlockSize, dram.Read)
+		o.p.InPkg.Access(crit.Done, slot*config.PageSize, config.PageSize, dram.Write)
+		r.CPU.Serialize(crit.Done)
+		o.p.Observe(crit.Done-at, false)
+
+		delete(o.freq, ppn)
+		*victim = bansheeSlot{ppn: ppn, valid: true, dirty: r.Write, count: n}
+		// The remapping occupies a tag-buffer entry; a full buffer
+		// flushes its mappings to the memory-resident metadata.
+		o.tagBufUsed++
+		if o.tagBufUsed == bansheeTagBufEntries {
+			o.p.OffPkg.AccountTraffic(bansheeTagBufEntries*bansheeTagEntryBytes, dram.Write)
+			o.TagFlushes++
+			o.tagBufUsed = 0
+		}
+		return
+	}
+
+	// Bypass: the page is not hot enough to displace the victim; serve
+	// the block off-package and age the victim so a persistently hot
+	// candidate eventually wins.
+	o.Bypasses++
+	if victim.valid && victim.count > 0 {
+		victim.count--
+	}
+	issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
+		return o.p.OffPkg.Access(at, r.Key, config.BlockSize, kind).Done
+	})
+}
+
+// Writeback sinks the dirty victim into its cached page frame, or
+// off-package when the page is absent.
+func (o *Banshee) Writeback(at sim.Tick, key uint64) {
+	ppn := key / config.PageSize
+	si, set := o.set(ppn)
+	if w := lookupWay(set, ppn); w >= 0 {
+		set[w].dirty = true
+		slot := slotIndex(si, w)
+		o.p.InPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
+		return
+	}
+	o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+}
+
+// ResetStats clears counters, keeping cache contents and frequency state.
+func (o *Banshee) ResetStats() {
+	o.Lookups, o.Hits, o.Fills, o.Bypasses, o.Writebacks, o.TagFlushes = 0, 0, 0, 0, 0, 0
+}
+
+// Collect is a no-op: the design's counters feed no Result field (the
+// shared fingerprinted metrics — hit rate, traffic, latency — come from
+// the machine and devices).
+func (o *Banshee) Collect(*Stats) {}

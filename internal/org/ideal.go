@@ -1,0 +1,52 @@
+package org
+
+import (
+	"taglessdram/internal/config"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/sim"
+)
+
+func init() {
+	Register(config.Ideal, func(p Ports) (Organization, error) {
+		o := &Ideal{p: p}
+		if cs := uint64(p.Cfg.CacheSize); cs > 0 && cs&(cs-1) == 0 {
+			o.mask = cs - 1
+		}
+		return o, nil
+	})
+}
+
+// Ideal stores all data in in-package DRAM: every access hits, folded
+// into the in-package capacity.
+type Ideal struct {
+	p    Ports
+	mask uint64 // CacheSize-1 when a power of two, else 0
+}
+
+// addr folds a physical address into the in-package capacity (mask when
+// the capacity is a power of two, modulo otherwise).
+func (o *Ideal) addr(key uint64) uint64 {
+	if o.mask != 0 {
+		return key & o.mask
+	}
+	return key % uint64(o.p.Cfg.CacheSize)
+}
+
+// Access is always an in-package block hit.
+func (o *Ideal) Access(r Request) {
+	kind := kindOf(r.Write)
+	issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
+		return o.p.InPkg.Access(at, o.addr(r.Key), config.BlockSize, kind).Done
+	})
+}
+
+// Writeback sinks the dirty victim in-package.
+func (o *Ideal) Writeback(at sim.Tick, key uint64) {
+	o.p.InPkg.Access(at, o.addr(key), config.BlockSize, dram.Write)
+}
+
+// ResetStats is a no-op: the design has no counters.
+func (o *Ideal) ResetStats() {}
+
+// Collect is a no-op: the design has no counters.
+func (o *Ideal) Collect(*Stats) {}

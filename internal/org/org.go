@@ -1,0 +1,163 @@
+// Package org defines the pluggable DRAM-cache organization layer: every
+// L3 design the simulator evaluates (Section 4 of the paper plus the
+// extra baselines) implements the Organization interface and registers a
+// factory keyed by its config.L3Design value. The system package resolves
+// the configured design through the registry, so adding a new organization
+// is one new file in this package plus experiment wiring — no edits to the
+// machine's per-reference path.
+//
+// An Organization owns the design-specific state (tag arrays, interleave
+// maps, the tagless controller) and issues its own device traffic through
+// the narrow Ports view it is constructed with. The Machine keeps the
+// design-agnostic per-reference pipeline: trace, TLBs, on-die caches, and
+// the translation-side tagless specifics (cTLB keys are an addressing
+// concern, not a cache-organization one).
+package org
+
+import (
+	"fmt"
+	"sort"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/core"
+	"taglessdram/internal/cpu"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/sim"
+)
+
+// PABit distinguishes physically-addressed lines from cache-addressed
+// lines in the on-die caches of the tagless design (non-cacheable pages
+// keep physical addresses; Section 3.2).
+const PABit = uint64(1) << 62
+
+// Request is one L2-miss memory access, passed by value so the hot path
+// stays allocation-free (a pointer argument through an interface method
+// would force a heap escape).
+type Request struct {
+	// CPU is the requesting core's timing model: Now/ReserveMSHR/
+	// Serialize/CompleteMSHR drive the access's latency exposure.
+	CPU *cpu.Core
+	// Key is the on-die cache key: a cache address for cached pages in
+	// the tagless design (PABit-tagged physical address for NC pages), a
+	// physical byte address for every other design.
+	Key uint64
+	// Frame is the translated page frame (physical page number, or the
+	// region cache address in tagless superpage mode).
+	Frame uint64
+	// Offset is the byte offset within the page.
+	Offset uint64
+	// NC marks a non-cacheable page (tagless design only).
+	NC bool
+	// Write distinguishes stores from loads.
+	Write bool
+	// Dep marks a dependent load whose latency is exposed on the
+	// dependence chain (serializes) rather than overlapped via MSHRs.
+	Dep bool
+}
+
+// Ports is the narrow view of the machine an Organization is constructed
+// against: the two DRAM devices, the event kernel, the configuration, the
+// latency observer, and the controller-side memory operations.
+type Ports struct {
+	Cfg    *config.SystemConfig
+	InPkg  *dram.Device
+	OffPkg *dram.Device
+	Kernel *sim.Kernel
+	// Mem implements the tagless controller's fill/evict/GIPT traffic
+	// against the devices (unused by the other organizations).
+	Mem core.MemOps
+	// Observe records one L3 access's device-side latency and hit/miss
+	// into the machine's measurement state.
+	Observe func(lat sim.Tick, hit bool)
+}
+
+// Stats carries the design-specific counters an Organization contributes
+// to the run's Result. Fields irrelevant to a design stay zero.
+type Stats struct {
+	// Ctrl holds the tagless controller's counters over the measured
+	// window (zero for other designs).
+	Ctrl core.Stats
+	// SRAMHitRate is the page-cache hit rate (SRAM-tag design only).
+	SRAMHitRate float64
+	// TagEnergyPJ is the on-die tag-array energy (SRAM-tag design only).
+	TagEnergyPJ float64
+}
+
+// Organization is one DRAM-cache design: it serves L2 misses and dirty
+// on-die victims, and reports its design-specific statistics.
+type Organization interface {
+	// Access performs the design-specific memory access for an L2 miss,
+	// issuing device traffic and charging the requesting core.
+	Access(r Request)
+	// Writeback sinks a dirty on-die victim line into the level below,
+	// off the core's critical path (device traffic only).
+	Writeback(at sim.Tick, key uint64)
+	// ResetStats marks the warmup/measure boundary: counters reset,
+	// microarchitectural state (cache contents) is kept.
+	ResetStats()
+	// Collect reports the design-specific counters of the measured
+	// window.
+	Collect(*Stats)
+}
+
+// Factory builds an Organization from the machine's ports.
+type Factory func(p Ports) (Organization, error)
+
+var registry = map[config.L3Design]Factory{}
+
+// Register installs a factory for a design. Each design file registers
+// itself from init(), so importing this package populates the registry.
+func Register(d config.L3Design, f Factory) {
+	if _, dup := registry[d]; dup {
+		panic(fmt.Sprintf("org: duplicate registration for design %v", d))
+	}
+	registry[d] = f
+}
+
+// New resolves a design through the registry and builds its organization.
+func New(d config.L3Design, p Ports) (Organization, error) {
+	f, ok := registry[d]
+	if !ok {
+		return nil, fmt.Errorf("org: no organization registered for design %v", d)
+	}
+	return f(p)
+}
+
+// Registered lists every registered design in enum order (deterministic,
+// independent of registration order).
+func Registered() []config.L3Design {
+	out := make([]config.L3Design, 0, len(registry))
+	for d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// issue runs one block-granularity memory access: dependent loads
+// serialize (their latency is exposed on the dependence chain),
+// independent ones overlap through the MSHR window. access closures stay
+// stack-allocated: issue is a static call that never stores them.
+func issue(c *cpu.Core, observe func(sim.Tick, bool), dep, hit bool, access func(at sim.Tick) sim.Tick) {
+	var at sim.Tick
+	if dep {
+		at = c.Now()
+	} else {
+		at = c.ReserveMSHR()
+	}
+	done := access(at)
+	if dep {
+		c.Serialize(done)
+	} else {
+		c.CompleteMSHR(done)
+	}
+	observe(done-at, hit)
+}
+
+// kindOf maps a store/load to the DRAM access kind.
+func kindOf(write bool) dram.AccessKind {
+	if write {
+		return dram.Write
+	}
+	return dram.Read
+}

@@ -1,0 +1,37 @@
+package org
+
+import (
+	"strings"
+	"testing"
+
+	"taglessdram/internal/config"
+)
+
+func TestRegisteredCoversEveryDesign(t *testing.T) {
+	want := append(config.AllDesigns(), config.AlloyBlock, config.Banshee)
+	got := Registered()
+	if len(got) != len(want) {
+		t.Fatalf("Registered() = %v, want %v", got, want)
+	}
+	for i, d := range want {
+		if got[i] != d {
+			t.Errorf("Registered()[%d] = %v, want %v (enum order)", i, got[i], d)
+		}
+	}
+}
+
+func TestNewUnknownDesign(t *testing.T) {
+	if _, err := New(config.L3Design(99), Ports{}); err == nil ||
+		!strings.Contains(err.Error(), "no organization registered") {
+		t.Fatalf("New(99) error = %v, want registry miss", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	Register(config.NoL3, func(Ports) (Organization, error) { return nil, nil })
+}

@@ -1,0 +1,78 @@
+package org
+
+import (
+	"taglessdram/internal/config"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/dramcache"
+	"taglessdram/internal/sim"
+)
+
+func init() {
+	Register(config.SRAMTag, func(p Ports) (Organization, error) {
+		tag := config.TagParamsFor(p.Cfg.CacheSize)
+		return &SRAMTag{
+			p:     p,
+			cache: dramcache.NewPageCache(p.Cfg.CachePages(), p.Cfg.SRAMTag.Ways, tag.LatencyCyc),
+		}, nil
+	})
+}
+
+// SRAMTag is the page-based cache with an on-die SRAM tag array: a tag
+// check on every access, in-package block on a hit, serializing page fill
+// on a miss (Section 2.2).
+type SRAMTag struct {
+	p     Ports
+	cache *dramcache.PageCache
+}
+
+// Access performs the tag check and the hit block access or miss fill.
+func (o *SRAMTag) Access(r Request) {
+	kind := kindOf(r.Write)
+	tagCycles := sim.Tick(o.cache.TagLatency())
+	if slot, hit := o.cache.Lookup(r.Frame, r.Write); hit {
+		issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
+			return o.p.InPkg.Access(at+tagCycles, slot*config.PageSize+r.Offset, config.BlockSize, kind).Done
+		})
+		return
+	}
+	// Miss: fetch the page from off-package DRAM, critical block first —
+	// the requester resumes when its block arrives (Equation 3's
+	// MissRate_L3 × PageAccessTime term) and the rest of the page
+	// streams in behind, consuming bandwidth.
+	at := r.CPU.Now()
+	slot, victim, hasVictim := o.cache.Fill(r.Frame, r.Write)
+	fillStart := at + tagCycles
+	if hasVictim && victim.Dirty {
+		// Victim write-back happens in the background.
+		rv := o.p.InPkg.Access(fillStart, victim.Slot*config.PageSize, config.PageSize, dram.Read)
+		o.p.OffPkg.Access(rv.Done, victim.PPN*config.PageSize, config.PageSize, dram.Write)
+	}
+	base := r.Frame * config.PageSize
+	blockOff := r.Offset &^ (config.BlockSize - 1)
+	crit := o.p.OffPkg.Access(fillStart, base+blockOff, config.BlockSize, dram.Read)
+	o.p.OffPkg.Access(crit.Done, base, config.PageSize-config.BlockSize, dram.Read)
+	o.p.InPkg.Access(crit.Done, slot*config.PageSize, config.PageSize, dram.Write)
+	r.CPU.Serialize(crit.Done)
+	o.p.Observe(crit.Done-at, false)
+}
+
+// Writeback sinks the dirty victim into its cached page frame, or
+// off-package when the page is absent.
+func (o *SRAMTag) Writeback(at sim.Tick, key uint64) {
+	ppn := key / config.PageSize
+	if slot, ok := o.cache.Peek(ppn); ok {
+		o.cache.MarkDirty(ppn)
+		o.p.InPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
+	} else {
+		o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+	}
+}
+
+// ResetStats clears the page-cache counters.
+func (o *SRAMTag) ResetStats() { o.cache.ResetStats() }
+
+// Collect reports the tag array's hit rate and energy.
+func (o *SRAMTag) Collect(s *Stats) {
+	s.SRAMHitRate = o.cache.HitRate()
+	s.TagEnergyPJ = o.cache.TagEnergyPJ()
+}

@@ -1,0 +1,115 @@
+package org
+
+import (
+	"fmt"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/core"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/sim"
+)
+
+func init() {
+	Register(config.Tagless, func(p Ports) (Organization, error) {
+		spPages := uint64(1)
+		if sp := p.Cfg.Tagless.SuperpagePages; sp > 1 {
+			spPages = uint64(sp)
+		}
+		if spPages&(spPages-1) != 0 {
+			return nil, fmt.Errorf("org: superpage region of %d pages is not a power of two", spPages)
+		}
+		o := &Tagless{p: p}
+		for sp := spPages; sp > 1; sp >>= 1 {
+			o.caShift++
+		}
+		o.caShift += 12 // log2(spPages * config.PageSize)
+		o.ctrl = core.NewController(core.Config{
+			Blocks:              p.Cfg.CachePages() / int(spPages),
+			RegionPages:         int(spPages),
+			Alpha:               p.Cfg.Tagless.Alpha,
+			Policy:              p.Cfg.Tagless.Policy,
+			WalkCycles:          p.Cfg.PageWalkCycles,
+			SynchronousEviction: p.Cfg.Tagless.SynchronousEviction,
+			CachedGIPT:          p.Cfg.Tagless.CachedGIPT,
+			SharedAliasTable:    p.Cfg.Tagless.SharedAliasTable,
+		}, p.Mem, p.Kernel)
+		return o, nil
+	})
+}
+
+// Tagless is the proposed cTLB-based organization: the controller owns
+// the GIPT, free queue and eviction daemon; a cTLB hit guarantees a cache
+// hit, so the access path is a bare in-package block access.
+type Tagless struct {
+	p       Ports
+	ctrl    *core.Controller
+	caShift uint // log2(spPages*PageSize): CA bytes → block number
+	start   core.Stats
+}
+
+// Controller exposes the cTLB controller: the machine wires its miss
+// handler, eviction hooks and TLB-residence tracking into the
+// translation path (addressing concerns that live outside this package).
+func (o *Tagless) Controller() *core.Controller { return o.ctrl }
+
+// Access serves the miss: an off-package block access for non-cacheable
+// pages (Table 1), a bare in-package block access otherwise.
+func (o *Tagless) Access(r Request) {
+	kind := kindOf(r.Write)
+	if r.NC {
+		// Non-cacheable page: off-package block access (Table 1).
+		issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
+			return o.p.OffPkg.Access(at, r.Key&^PABit, config.BlockSize, kind).Done
+		})
+		return
+	}
+	// cTLB hit guarantees a cache hit: bare in-package block access.
+	// Inlined issue(): this is the design's hottest L3 path.
+	var at sim.Tick
+	if r.Dep {
+		at = r.CPU.Now()
+	} else {
+		at = r.CPU.ReserveMSHR()
+	}
+	o.ctrl.Touch(at, r.Key>>o.caShift, r.Write)
+	done := o.p.InPkg.Access(at, r.Key, config.BlockSize, kind).Done
+	if r.Dep {
+		r.CPU.Serialize(done)
+	} else {
+		r.CPU.CompleteMSHR(done)
+	}
+	o.p.Observe(done-at, true)
+}
+
+// Writeback sinks the dirty victim: PA-tagged (non-cacheable) lines go
+// off-package; CA-tagged lines land in the cache and mark its block dirty.
+func (o *Tagless) Writeback(at sim.Tick, key uint64) {
+	if key&PABit != 0 {
+		o.p.OffPkg.Access(at, key&^PABit, config.BlockSize, dram.Write)
+		return
+	}
+	o.p.InPkg.Access(at, key, config.BlockSize, dram.Write)
+	o.ctrl.Touch(at, key>>o.caShift, true)
+}
+
+// ResetStats snapshots the controller counters at the warmup/measure
+// boundary so Collect can report the measured-window delta.
+func (o *Tagless) ResetStats() { o.start = o.ctrl.Stats() }
+
+// Collect reports the controller counters accumulated since ResetStats.
+func (o *Tagless) Collect(s *Stats) {
+	cur := o.ctrl.Stats()
+	s.Ctrl = core.Stats{
+		Walks:         cur.Walks - o.start.Walks,
+		NonCacheable:  cur.NonCacheable - o.start.NonCacheable,
+		VictimHits:    cur.VictimHits - o.start.VictimHits,
+		ColdFills:     cur.ColdFills - o.start.ColdFills,
+		PendingWaits:  cur.PendingWaits - o.start.PendingWaits,
+		AliasHits:     cur.AliasHits - o.start.AliasHits,
+		Rescues:       cur.Rescues - o.start.Rescues,
+		Evictions:     cur.Evictions - o.start.Evictions,
+		Writebacks:    cur.Writebacks - o.start.Writebacks,
+		SyncEvictions: cur.SyncEvictions - o.start.SyncEvictions,
+		Shootdowns:    cur.Shootdowns - o.start.Shootdowns,
+	}
+}

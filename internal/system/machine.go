@@ -8,8 +8,8 @@ import (
 	"taglessdram/internal/core"
 	"taglessdram/internal/cpu"
 	"taglessdram/internal/dram"
-	"taglessdram/internal/dramcache"
 	"taglessdram/internal/mmu"
+	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/stats"
 	"taglessdram/internal/tlb"
@@ -19,7 +19,7 @@ import (
 // paBit distinguishes physically-addressed lines from cache-addressed lines
 // in the on-die caches of the tagless design (non-cacheable pages keep
 // physical addresses; Section 3.2).
-const paBit = uint64(1) << 62
+const paBit = org.PABit
 
 // spKeyBit marks TLB keys that name a superpage region rather than a base
 // page, keeping the two namespaces disjoint.
@@ -80,20 +80,18 @@ type Machine struct {
 	cores    []*coreCtx
 	alloc    *mmu.FrameAllocator
 
-	// Design-specific state (at most one is non-nil).
-	sram  *dramcache.PageCache
-	inter *dramcache.BankInterleaver
-	ctrl  *core.Controller
-	alloy *dramcache.BlockCache
+	// org is the pluggable DRAM-cache organization serving L2 misses
+	// and dirty on-die victims (internal/org registry). The tagless
+	// design additionally exposes its controller, which the translation
+	// path in step consults directly (ctrl is nil for other designs).
+	org  org.Organization
+	ctrl *core.Controller
 
-	cachePages   uint64
 	spPages      uint64            // superpage region size in pages (1 = disabled)
 	spMask       uint64            // spPages-1 (spPages is a power of two)
 	spShift      uint              // log2(spPages)
 	caShift      uint              // log2(spPages*PageSize): CA bytes → block number
-	idealMask    uint64            // CacheSize-1 when a power of two, else 0
 	sharedFrames map[uint64]uint64 // shared VPN → PPN (inter-process pages)
-	offRatio     uint64            // off-package/in-package capacity ratio (BI stride)
 	giptBase     uint64            // off-package byte address of the GIPT region
 	giptRegion   uint64
 	giptCursor   uint64
@@ -115,7 +113,6 @@ type Machine struct {
 	tlbLookups stats.Counter
 	tlbMisses  stats.Counter
 	ncAccesses stats.Counter
-	ctrlStart  core.Stats
 }
 
 // New builds a machine for the configuration and workload.
@@ -137,13 +134,8 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		kernel:       sim.NewKernel(),
 		inPkg:        dram.New("in-pkg", cfg.InPkg, cfg.CPU.FreqGHz),
 		offPkg:       dram.New("off-pkg", cfg.OffPkg, cfg.CPU.FreqGHz),
-		cachePages:   uint64(cfg.CachePages()),
 		sharedFrames: make(map[uint64]uint64),
 		ncThreshold:  cfg.Tagless.NCAccessThreshold,
-	}
-	m.offRatio = uint64(cfg.OffPkg.SizeBytes / cfg.InPkg.SizeBytes)
-	if m.offRatio < 1 {
-		m.offRatio = 1
 	}
 	// Reserve the top sixteenth of off-package DRAM for page tables and
 	// the GIPT, so handler traffic does not alias application rows.
@@ -215,30 +207,32 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		m.cores = append(m.cores, cc)
 	}
 
-	// Organization-specific wiring.
-	switch cfg.Design {
-	case config.NoL3:
-		// Nothing to build.
-	case config.BankInterleave:
-		m.inter = dramcache.NewBankInterleaver(m.cachePages, m.cachePages*m.offRatio)
-	case config.SRAMTag:
-		tag := config.TagParamsFor(cfg.CacheSize)
-		m.sram = dramcache.NewPageCache(int(m.cachePages), cfg.SRAMTag.Ways, tag.LatencyCyc)
-	case config.Tagless:
+	// Organization wiring: resolve the configured design through the
+	// internal/org registry. Each organization builds its own state
+	// against the narrow Ports view; adding a design needs no edit here.
+	o, err := org.New(cfg.Design, org.Ports{
+		Cfg:     cfg,
+		InPkg:   m.inPkg,
+		OffPkg:  m.offPkg,
+		Kernel:  m.kernel,
+		Mem:     (*memOps)(m),
+		Observe: m.observeL3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.org = o
+
+	// The tagless organization is the one design the translation path
+	// must know about: cTLB misses route through its controller, and its
+	// eviction/shootdown activity feeds back into the TLBs and on-die
+	// caches. Wire those hooks here; every other design is opaque.
+	if tg, ok := o.(*org.Tagless); ok {
+		m.ctrl = tg.Controller()
 		m.spPages = 1
 		if sp := cfg.Tagless.SuperpagePages; sp > 1 {
 			m.spPages = uint64(sp)
 		}
-		m.ctrl = core.NewController(core.Config{
-			Blocks:              int(m.cachePages / m.spPages),
-			RegionPages:         int(m.spPages),
-			Alpha:               cfg.Tagless.Alpha,
-			Policy:              cfg.Tagless.Policy,
-			WalkCycles:          cfg.PageWalkCycles,
-			SynchronousEviction: cfg.Tagless.SynchronousEviction,
-			CachedGIPT:          cfg.Tagless.CachedGIPT,
-			SharedAliasTable:    cfg.Tagless.SharedAliasTable,
-		}, (*memOps)(m), m.kernel)
 		if cfg.MemoryWalk {
 			m.ctrl.SetWalkFunc(m.memoryWalk)
 		}
@@ -250,28 +244,16 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 				m.ctrl.NoteTLBEviction(cc.id, e)
 			}
 		}
-	case config.Ideal:
-		// Nothing to build: every access is an in-package block access.
-	case config.AlloyBlock:
-		m.alloy = dramcache.NewBlockCache(cfg.CacheSize)
-	default:
-		return nil, fmt.Errorf("system: unknown design %v", cfg.Design)
 	}
 
 	// Strength-reduce the hot-path divisions. Superpage region sizes are
-	// powers of two by construction; cache capacity is unless overridden.
+	// powers of two by construction (config.Validate enforces it).
 	if m.ctrl != nil {
-		if m.spPages&(m.spPages-1) != 0 {
-			return nil, fmt.Errorf("system: superpage region of %d pages is not a power of two", m.spPages)
-		}
 		m.spMask = m.spPages - 1
 		for p := m.spPages; p > 1; p >>= 1 {
 			m.spShift++
 		}
 		m.caShift = m.spShift + 12 // log2(spPages * config.PageSize)
-	}
-	if cs := uint64(cfg.CacheSize); cs > 0 && cs&(cs-1) == 0 {
-		m.idealMask = cs - 1
 	}
 	m.sched = make([]*coreCtx, 0, len(m.cores))
 	return m, nil

@@ -46,6 +46,7 @@ func warmSteps(tb testing.TB, m *Machine, n int) {
 func BenchmarkMachineStep(b *testing.B) {
 	for _, d := range []config.L3Design{
 		config.NoL3, config.BankInterleave, config.SRAMTag, config.Tagless, config.Ideal,
+		config.Banshee,
 	} {
 		b.Run(d.String(), func(b *testing.B) {
 			m := benchStepMachine(b, d)

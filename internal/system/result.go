@@ -7,6 +7,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
 	"taglessdram/internal/energy"
+	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/stats"
 )
@@ -100,27 +101,11 @@ func (m *Machine) collect() *Result {
 	}
 	r.NCAccesses = m.ncAccesses.Value()
 
-	var tagPJ float64
-	if m.sram != nil {
-		tagPJ = m.sram.TagEnergyPJ()
-		r.SRAMHitRate = m.sram.HitRate()
-	}
-	if m.ctrl != nil {
-		s := m.ctrl.Stats()
-		r.Ctrl = core.Stats{
-			Walks:         s.Walks - m.ctrlStart.Walks,
-			NonCacheable:  s.NonCacheable - m.ctrlStart.NonCacheable,
-			VictimHits:    s.VictimHits - m.ctrlStart.VictimHits,
-			ColdFills:     s.ColdFills - m.ctrlStart.ColdFills,
-			PendingWaits:  s.PendingWaits - m.ctrlStart.PendingWaits,
-			AliasHits:     s.AliasHits - m.ctrlStart.AliasHits,
-			Rescues:       s.Rescues - m.ctrlStart.Rescues,
-			Evictions:     s.Evictions - m.ctrlStart.Evictions,
-			Writebacks:    s.Writebacks - m.ctrlStart.Writebacks,
-			SyncEvictions: s.SyncEvictions - m.ctrlStart.SyncEvictions,
-			Shootdowns:    s.Shootdowns - m.ctrlStart.Shootdowns,
-		}
-	}
+	var os org.Stats
+	m.org.Collect(&os)
+	r.Ctrl = os.Ctrl
+	r.SRAMHitRate = os.SRAMHitRate
+	tagPJ := os.TagEnergyPJ
 
 	for i := range m.kindLat {
 		r.MissKindMean[i] = m.kindLat[i].Value()

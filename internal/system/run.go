@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"taglessdram/internal/config"
-	"taglessdram/internal/dram"
-	"taglessdram/internal/dramcache"
+	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/tlb"
 	"taglessdram/internal/trace"
@@ -65,18 +64,42 @@ func (m *Machine) runPhase(target uint64) error {
 	}
 }
 
+// nextCore picks the runnable core with the minimal clock (lowest id on
+// ties — the scan keeps the first minimum), or nil once every core has
+// retired target instructions.
+func (m *Machine) nextCore(target uint64) *coreCtx {
+	var next *coreCtx
+	for _, cc := range m.cores {
+		if !cc.active || cc.cpu.Instructions >= target {
+			continue
+		}
+		if next == nil || cc.cpu.Now() < next.cpu.Now() {
+			next = cc
+		}
+	}
+	return next
+}
+
+// soloCore returns the single active core, or nil when zero or several
+// cores are active.
+func (m *Machine) soloCore() *coreCtx {
+	var solo *coreCtx
+	for _, cc := range m.cores {
+		if !cc.active {
+			continue
+		}
+		if solo != nil {
+			return nil
+		}
+		solo = cc
+	}
+	return solo
+}
+
 // runPhaseScan is the O(cores) min-scan: cheapest for small machines.
 func (m *Machine) runPhaseScan(target uint64) error {
 	for {
-		var next *coreCtx
-		for _, cc := range m.cores {
-			if !cc.active || cc.cpu.Instructions >= target {
-				continue
-			}
-			if next == nil || cc.cpu.Now() < next.cpu.Now() {
-				next = cc
-			}
-		}
+		next := m.nextCore(target)
 		if next == nil {
 			return nil
 		}
@@ -140,18 +163,7 @@ func (m *Machine) runPhaseHeap(h []*coreCtx, target uint64) error {
 // cores in simulated-time order with no instruction target. It exists for
 // benchmarks and profiling harnesses that meter the per-reference path.
 func (m *Machine) Steps(n int) error {
-	var solo *coreCtx
-	for _, cc := range m.cores {
-		if !cc.active {
-			continue
-		}
-		if solo != nil {
-			solo = nil
-			break
-		}
-		solo = cc
-	}
-	if solo != nil {
+	if solo := m.soloCore(); solo != nil {
 		for i := 0; i < n; i++ {
 			if err := m.step(solo); err != nil {
 				return err
@@ -160,15 +172,7 @@ func (m *Machine) Steps(n int) error {
 		return nil
 	}
 	for i := 0; i < n; i++ {
-		var next *coreCtx
-		for _, cc := range m.cores {
-			if !cc.active {
-				continue
-			}
-			if next == nil || cc.cpu.Now() < next.cpu.Now() {
-				next = cc
-			}
-		}
+		next := m.nextCore(^uint64(0))
 		if next == nil {
 			return nil
 		}
@@ -210,15 +214,7 @@ func (m *Machine) beginMeasurement() {
 	m.tlbLookups.Reset()
 	m.tlbMisses.Reset()
 	m.ncAccesses.Reset()
-	if m.ctrl != nil {
-		m.ctrlStart = m.ctrl.Stats()
-	}
-	if m.sram != nil {
-		m.sram.ResetStats()
-	}
-	if m.alloy != nil {
-		m.alloy.ResetStats()
-	}
+	m.org.ResetStats()
 }
 
 // step processes one trace reference on one core.
@@ -376,161 +372,20 @@ func (m *Machine) step(cc *coreCtx) error {
 	return nil
 }
 
-// issueBlock runs one block-granularity memory access: dependent loads
-// serialize (their latency is exposed on the dependence chain), independent
-// ones overlap through the MSHR window.
-func (m *Machine) issueBlock(cc *coreCtx, dep, hit bool, access func(at sim.Tick) sim.Tick) {
-	var at sim.Tick
-	if dep {
-		at = cc.cpu.Now()
-	} else {
-		at = cc.cpu.ReserveMSHR()
-	}
-	done := access(at)
-	if dep {
-		cc.cpu.Serialize(done)
-	} else {
-		cc.cpu.CompleteMSHR(done)
-	}
-	m.observeL3(done-at, hit)
-}
-
-// kindOf maps a store/load to the DRAM access kind.
-func kindOf(write bool) dram.AccessKind {
-	if write {
-		return dram.Write
-	}
-	return dram.Read
-}
-
-// l3Access performs the design-specific memory access for an L2 miss.
+// l3Access hands an L2 miss to the organization.
 func (m *Machine) l3Access(cc *coreCtx, entry tlb.Entry, key, offset uint64, write, dep bool) {
 	if m.measuring {
 		m.l3Accesses.Inc()
 	}
-	kind := kindOf(write)
-	switch m.cfg.Design {
-	case config.NoL3:
-		m.issueBlock(cc, dep, false, func(at sim.Tick) sim.Tick {
-			return m.offPkg.Access(at, key, config.BlockSize, kind).Done
-		})
-
-	case config.BankInterleave:
-		devPage, inPkg := m.inter.Map(entry.Frame)
-		m.issueBlock(cc, dep, inPkg, func(at sim.Tick) sim.Tick {
-			var r dram.Result
-			if inPkg {
-				r = m.inPkg.Access(at, devPage*config.PageSize+offset, config.BlockSize, kind)
-			} else {
-				r = m.offPkg.Access(at, devPage*config.PageSize+offset, config.BlockSize, kind)
-			}
-			return r.Done
-		})
-
-	case config.SRAMTag:
-		m.sramAccess(cc, entry.Frame, offset, write, dep)
-
-	case config.Tagless:
-		if entry.NC {
-			// Non-cacheable page: off-package block access (Table 1).
-			m.issueBlock(cc, dep, false, func(at sim.Tick) sim.Tick {
-				return m.offPkg.Access(at, key&^paBit, config.BlockSize, kind).Done
-			})
-			return
-		}
-		// cTLB hit guarantees a cache hit: bare in-package block access.
-		// Inlined issueBlock: this is the design's hottest L3 path.
-		var at sim.Tick
-		if dep {
-			at = cc.cpu.Now()
-		} else {
-			at = cc.cpu.ReserveMSHR()
-		}
-		m.ctrl.Touch(at, key>>m.caShift, write)
-		done := m.inPkg.Access(at, key, config.BlockSize, kind).Done
-		if dep {
-			cc.cpu.Serialize(done)
-		} else {
-			cc.cpu.CompleteMSHR(done)
-		}
-		m.observeL3(done-at, true)
-
-	case config.Ideal:
-		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
-			return m.inPkg.Access(at, m.idealAddr(key), config.BlockSize, kind).Done
-		})
-
-	case config.AlloyBlock:
-		m.alloyAccess(cc, key, write, dep)
-	}
-}
-
-// alloyAccess is the block-based cache's path: one in-package TAD read
-// serves tag check and data together; a miss adds a serial off-package
-// block fetch (the Alloy SERIAL organization, no hit predictor) and a
-// background TAD fill plus any dirty-victim write-back.
-func (m *Machine) alloyAccess(cc *coreCtx, key uint64, write, dep bool) {
-	kind := kindOf(write)
-	slot, hit := m.alloy.Lookup(key, write)
-	tad := m.alloy.TADAddr(slot)
-	if hit {
-		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
-			return m.inPkg.Access(at, tad, dramcache.TADBytes, kind).Done
-		})
-		return
-	}
-	_, victim, hasVictim := m.alloy.Fill(key, write)
-	m.issueBlock(cc, dep, false, func(at sim.Tick) sim.Tick {
-		r := m.inPkg.Access(at, tad, dramcache.TADBytes, dram.Read) // tag probe
-		off := m.offPkg.Access(r.Done, key, config.BlockSize, dram.Read)
-		// Fill and write-back stream in the background.
-		m.inPkg.Access(off.Done, tad, dramcache.TADBytes, dram.Write)
-		if hasVictim && victim.Dirty {
-			m.offPkg.Access(off.Done, victim.BlockAddr, config.BlockSize, dram.Write)
-		}
-		return off.Done
+	m.org.Access(org.Request{
+		CPU:    cc.cpu,
+		Key:    key,
+		Frame:  entry.Frame,
+		Offset: offset,
+		NC:     entry.NC,
+		Write:  write,
+		Dep:    dep,
 	})
-}
-
-// sramAccess is the SRAM-tag cache's access path: tag check on every
-// access, in-package block on a hit, serializing page fill on a miss.
-func (m *Machine) sramAccess(cc *coreCtx, ppn, offset uint64, write, dep bool) {
-	kind := kindOf(write)
-	tagCycles := sim.Tick(m.sram.TagLatency())
-	if slot, hit := m.sram.Lookup(ppn, write); hit {
-		m.issueBlock(cc, dep, true, func(at sim.Tick) sim.Tick {
-			return m.inPkg.Access(at+tagCycles, slot*config.PageSize+offset, config.BlockSize, kind).Done
-		})
-		return
-	}
-	// Miss: fetch the page from off-package DRAM, critical block first —
-	// the requester resumes when its block arrives (Equation 3's
-	// MissRate_L3 × PageAccessTime term) and the rest of the page
-	// streams in behind, consuming bandwidth.
-	at := cc.cpu.Now()
-	slot, victim, hasVictim := m.sram.Fill(ppn, write)
-	fillStart := at + tagCycles
-	if hasVictim && victim.Dirty {
-		// Victim write-back happens in the background.
-		rv := m.inPkg.Access(fillStart, victim.Slot*config.PageSize, config.PageSize, dram.Read)
-		m.offPkg.Access(rv.Done, victim.PPN*config.PageSize, config.PageSize, dram.Write)
-	}
-	base := ppn * config.PageSize
-	blockOff := offset &^ (config.BlockSize - 1)
-	crit := m.offPkg.Access(fillStart, base+blockOff, config.BlockSize, dram.Read)
-	m.offPkg.Access(crit.Done, base, config.PageSize-config.BlockSize, dram.Read)
-	m.inPkg.Access(crit.Done, slot*config.PageSize, config.PageSize, dram.Write)
-	cc.cpu.Serialize(crit.Done)
-	m.observeL3(crit.Done-at, false)
-}
-
-// idealAddr folds a physical address into the ideal design's in-package
-// capacity (mask when the capacity is a power of two, modulo otherwise).
-func (m *Machine) idealAddr(key uint64) uint64 {
-	if m.idealMask != 0 {
-		return key & m.idealMask
-	}
-	return key % uint64(m.cfg.CacheSize)
 }
 
 // observeL3 records one L3 access's device-side latency and hit/miss.
@@ -547,41 +402,5 @@ func (m *Machine) observeL3(lat sim.Tick, hit bool) {
 // writebackBlock sinks a dirty on-die victim line into the level below,
 // off the core's critical path (device traffic only).
 func (m *Machine) writebackBlock(cc *coreCtx, key uint64) {
-	at := cc.cpu.Now()
-	switch m.cfg.Design {
-	case config.NoL3:
-		m.offPkg.Access(at, key, config.BlockSize, dram.Write)
-	case config.BankInterleave:
-		devPage, inPkg := m.inter.Map(key / config.PageSize)
-		addr := devPage*config.PageSize + key%config.PageSize
-		if inPkg {
-			m.inPkg.Access(at, addr, config.BlockSize, dram.Write)
-		} else {
-			m.offPkg.Access(at, addr, config.BlockSize, dram.Write)
-		}
-	case config.SRAMTag:
-		ppn := key / config.PageSize
-		if slot, ok := m.sram.Peek(ppn); ok {
-			m.sram.MarkDirty(ppn)
-			m.inPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
-		} else {
-			m.offPkg.Access(at, key, config.BlockSize, dram.Write)
-		}
-	case config.Tagless:
-		if key&paBit != 0 {
-			m.offPkg.Access(at, key&^paBit, config.BlockSize, dram.Write)
-			return
-		}
-		m.inPkg.Access(at, key, config.BlockSize, dram.Write)
-		m.ctrl.Touch(at, key>>m.caShift, true)
-	case config.Ideal:
-		m.inPkg.Access(at, m.idealAddr(key), config.BlockSize, dram.Write)
-	case config.AlloyBlock:
-		if m.alloy.MarkDirty(key) {
-			slot, _ := m.alloy.Lookup(key, true)
-			m.inPkg.Access(at, m.alloy.TADAddr(slot), config.BlockSize, dram.Write)
-		} else {
-			m.offPkg.Access(at, key, config.BlockSize, dram.Write)
-		}
-	}
+	m.org.Writeback(cc.cpu.Now(), key)
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"taglessdram/internal/config"
+	"taglessdram/internal/org"
 	"taglessdram/internal/system"
 	"taglessdram/internal/trace"
 )
@@ -44,6 +45,10 @@ const (
 	// AlloyBlock is the block-based (tags-in-DRAM, direct-mapped) design
 	// class of Table 2, not part of the paper's five plotted designs.
 	AlloyBlock = config.AlloyBlock
+	// Banshee is a page-based cache with frequency-based replacement and
+	// bandwidth-efficient fills (Yu et al., see PAPERS.md) — a baseline
+	// from follow-up work, not one of the paper's five plotted designs.
+	Banshee = config.Banshee
 )
 
 // Replacement policies for the tagless cache (Figure 11; CLOCK is the
@@ -107,6 +112,10 @@ type Options struct {
 	// MSHRs overrides the per-core outstanding-miss window (0 = the
 	// default 8), for memory-level-parallelism sensitivity studies.
 	MSHRs int
+	// ExtraDesigns appends organizations beyond the paper's five to the
+	// design-comparison grids (Figures 7, 9, 12) — e.g. AlloyBlock or
+	// Banshee. The paper's plots are unchanged when empty.
+	ExtraDesigns []Design
 	// Workers bounds how many simulations of a sweep (Sweep, or any
 	// RunFigureN/RunTableN grid) run concurrently: 0 = GOMAXPROCS,
 	// 1 = serial. It never changes a simulation's metrics — every job is
@@ -237,6 +246,10 @@ func PARSECWorkloads() []string { return trace.PARSECNames() }
 
 // Designs lists the five organizations in the paper's plot order.
 func Designs() []Design { return config.AllDesigns() }
+
+// Organizations lists every registered cache organization — the paper's
+// five plus the extra baselines (AlloyBlock, Banshee) — in enum order.
+func Organizations() []Design { return org.Registered() }
 
 // Validate checks an Options value.
 func (o Options) Validate() error {

@@ -169,12 +169,16 @@ func TestRunTable2Rows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d, want 3 (block, page, tagless)", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (block, banshee, page, tagless)", len(rows))
 	}
-	alloy, sram, ctlb := rows[0], rows[1], rows[2]
+	alloy, banshee, sram, ctlb := rows[0], rows[1], rows[2], rows[3]
 	if alloy.TagInDRAMMB != 128 {
 		t.Errorf("block-based in-DRAM tags = %vMB, want 128 (paper scale)", alloy.TagInDRAMMB)
+	}
+	if banshee.TagStorageMB != 0 || banshee.TagInDRAMMB != 2 {
+		t.Errorf("banshee tag storage = %v/%vMB, want 0/2 (8B per page, paper scale)",
+			banshee.TagStorageMB, banshee.TagInDRAMMB)
 	}
 	if sram.TagStorageMB != 4 {
 		t.Errorf("SRAM tag storage = %vMB, want 4 (paper scale)", sram.TagStorageMB)
