@@ -31,6 +31,9 @@ func main() {
 		nj    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = serial); results are identical at any width")
 		prog  = flag.Bool("progress", false, "print per-sweep progress and ETA to stderr")
 		extra = flag.Bool("baselines", false, "add the extra organizations (Alloy, Banshee) to the design-comparison figures")
+
+		metrics = flag.String("metrics-json", "", "append every run's metric registry and epoch series as JSON lines to this file (byte-identical at any -j)")
+		epoch   = flag.Uint64("epoch-refs", 0, "epoch length in measured references for time-series sampling (0 = off)")
 	)
 	flag.BoolVar(&plotBars, "plot", false, "render normalized-IPC bar charts under each figure")
 	pf := prof.Register(flag.CommandLine)
@@ -61,6 +64,29 @@ func main() {
 	}
 	if *extra {
 		o.ExtraDesigns = []taglessdram.Design{taglessdram.AlloyBlock, taglessdram.Banshee}
+	}
+	o.EpochRefs = *epoch
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}()
+		// Every figure/table sweep delivers its results here in
+		// submission order after the sweep completes, so the file's
+		// bytes do not depend on -j.
+		o.MetricsSink = func(r *taglessdram.Result) {
+			if err := taglessdram.WriteMetricsJSON(f, r); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	want := map[string]bool{}

@@ -10,12 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"taglessdram"
 	"taglessdram/internal/prof"
+	"taglessdram/internal/textplot"
 )
 
 func main() {
@@ -34,7 +36,11 @@ func main() {
 		refresh  = flag.Bool("refresh", false, "model DRAM refresh blackouts")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		list     = flag.Bool("list", false, "list workloads and exit")
-		prog     = flag.Bool("progress", false, "print a wall-clock throughput summary to stderr")
+		prog     = flag.Bool("progress", false, "print a wall-clock throughput summary and epoch sparklines to stderr")
+		epoch    = flag.Uint64("epoch-refs", 2000, "epoch length in measured references for time-series sampling (0 = off)")
+		metrics  = flag.String("metrics-json", "", "write the full metric registry and epoch series as JSON lines to this file")
+		traceOut = flag.String("trace-events", "", "write a Chrome trace_event JSON (chrome://tracing) of the first kernel events to this file")
+		traceMax = flag.Int("trace-max", 0, "trace window size in events (0 = default)")
 	)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -77,6 +83,17 @@ func main() {
 	case strings.EqualFold(*policy, "CLOCK"):
 		o.Policy = taglessdram.CLOCK
 	}
+	o.EpochRefs = *epoch
+	o.TraceEventLimit = *traceMax
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer traceFile.Close()
+		o.TraceEvents = traceFile
+	}
 	if err := o.Validate(); err != nil {
 		fatal(err)
 	}
@@ -84,6 +101,24 @@ func main() {
 	r, err := taglessdram.Run(d, *workload, o)
 	if err != nil {
 		fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := taglessdram.WriteMetricsJSON(f, r); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("workload:        %s on %v\n", r.Workload, r.Design)
@@ -107,6 +142,46 @@ func main() {
 		if r.NCAccesses > 0 {
 			fmt.Printf("NC accesses:     %d\n", r.NCAccesses)
 		}
+	}
+	if *prog && len(r.Epochs) > 0 {
+		printSparklines(r)
+	}
+}
+
+// printSparklines renders the captured epoch series as terminal-width
+// sparklines on stderr, next to the throughput summary they accompany.
+func printSparklines(r *taglessdram.Result) {
+	const width = 60
+	series := []struct {
+		name string
+		get  func(e taglessdram.Epoch) float64
+	}{
+		{"IPC", func(e taglessdram.Epoch) float64 { return e.IPC }},
+		{"L3 hit rate", func(e taglessdram.Epoch) float64 { return e.L3HitRate }},
+		{"cTLB miss rate", func(e taglessdram.Epoch) float64 { return e.TLBMissRate }},
+		{"off-pkg bytes", func(e taglessdram.Epoch) float64 { return float64(e.OffPkgBytes) }},
+	}
+	if r.Design == taglessdram.Tagless {
+		series = append(series, struct {
+			name string
+			get  func(e taglessdram.Epoch) float64
+		}{"free blocks", func(e taglessdram.Epoch) float64 { return float64(e.FreeBlocks) }})
+	}
+	fmt.Fprintf(os.Stderr, "epochs:          %d × %d refs", len(r.Epochs), r.Epochs[0].Refs)
+	if r.EpochsDropped > 0 {
+		fmt.Fprintf(os.Stderr, " (%d older epochs dropped)", r.EpochsDropped)
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, s := range series {
+		xs := make([]float64, len(r.Epochs))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, e := range r.Epochs {
+			xs[i] = s.get(e)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		fmt.Fprintf(os.Stderr, "  %-15s %s  [%.3g, %.3g]\n",
+			s.name, textplot.Sparkline(xs, width), lo, hi)
 	}
 }
 

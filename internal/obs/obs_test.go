@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"testing"
+
+	"taglessdram/internal/core"
+)
+
+// snapshot builds a cumulative snapshot scaled by k, so successive calls
+// with k=1,2,3... produce identical per-epoch deltas.
+func snapshot(k uint64) Cumulative {
+	return Cumulative{
+		Cycle:             1000 * k,
+		Refs:              100 * k,
+		Instructions:      500 * k,
+		L3Accesses:        40 * k,
+		L3Hits:            30 * k,
+		TLBLookups:        100 * k,
+		TLBMisses:         5 * k,
+		InPkgBytes:        4096 * k,
+		OffPkgBytes:       1024 * k,
+		InPkgRowAccesses:  20 * k,
+		InPkgRowHits:      10 * k,
+		OffPkgRowAccesses: 8 * k,
+		OffPkgRowHits:     2 * k,
+		Ctrl:              core.Stats{ColdFills: 3 * k, Evictions: k},
+		Gauges:            Gauges{FreeBlocks: int(k), FreeQueueLen: int(2 * k)},
+	}
+}
+
+func TestSamplerTick(t *testing.T) {
+	s := NewSampler(3, 8)
+	ticks := []bool{false, false, true, false, false, true}
+	for i, want := range ticks {
+		if got := s.Tick(); got != want {
+			t.Fatalf("tick %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSamplerDeltas(t *testing.T) {
+	s := NewSampler(100, 8)
+	s.Rebase(snapshot(1))
+	s.Record(snapshot(2))
+	s.Record(snapshot(3))
+
+	es := s.Epochs()
+	if len(es) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(es))
+	}
+	for i, e := range es {
+		if e.Index != i {
+			t.Errorf("epoch %d index = %d", i, e.Index)
+		}
+		if e.Refs != 100 || e.Instructions != 500 || e.Cycles != 1000 {
+			t.Errorf("epoch %d deltas = refs %d instr %d cycles %d, want 100/500/1000",
+				i, e.Refs, e.Instructions, e.Cycles)
+		}
+		if e.IPC != 0.5 {
+			t.Errorf("epoch %d IPC = %v, want 0.5", i, e.IPC)
+		}
+		if e.L3HitRate != 0.75 {
+			t.Errorf("epoch %d L3 hit rate = %v, want 0.75", i, e.L3HitRate)
+		}
+		if e.TLBMissRate != 0.05 {
+			t.Errorf("epoch %d TLB miss rate = %v, want 0.05", i, e.TLBMissRate)
+		}
+		if e.InPkgRowHitRate != 0.5 || e.OffPkgRowHitRate != 0.25 {
+			t.Errorf("epoch %d row hit rates = %v/%v, want 0.5/0.25",
+				i, e.InPkgRowHitRate, e.OffPkgRowHitRate)
+		}
+		if e.Ctrl.ColdFills != 3 || e.Ctrl.Evictions != 1 {
+			t.Errorf("epoch %d ctrl delta = %+v", i, e.Ctrl)
+		}
+	}
+	// Gauges are instantaneous, not diffed.
+	if es[0].FreeBlocks != 2 || es[1].FreeBlocks != 3 {
+		t.Errorf("gauge free blocks = %d,%d, want 2,3", es[0].FreeBlocks, es[1].FreeBlocks)
+	}
+	if es[1].EndCycle != 3000 {
+		t.Errorf("end cycle = %d, want 3000", es[1].EndCycle)
+	}
+}
+
+func TestSamplerRebaseDiscardsPartialEpoch(t *testing.T) {
+	s := NewSampler(3, 8)
+	s.Tick()
+	s.Tick() // two references counted pre-measurement
+	s.Rebase(snapshot(1))
+	if s.Tick() || s.Tick() {
+		t.Fatal("epoch closed early: Rebase should reset the partial count")
+	}
+	if !s.Tick() {
+		t.Fatal("epoch should close after a full post-Rebase interval")
+	}
+}
+
+func TestSamplerRingWrap(t *testing.T) {
+	s := NewSampler(1, 4)
+	s.Rebase(snapshot(0))
+	for k := uint64(1); k <= 10; k++ {
+		s.Record(snapshot(k))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", s.Dropped())
+	}
+	es := s.Epochs()
+	// Oldest retained epoch is capture #6 (0-based), newest #9, and
+	// original indices survive the wrap.
+	for i, e := range es {
+		if e.Index != 6+i {
+			t.Errorf("epoch %d index = %d, want %d", i, e.Index, 6+i)
+		}
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	s := NewSampler(10, 0)
+	if s.Capacity() != DefaultCapacity {
+		t.Fatalf("capacity = %d, want default %d", s.Capacity(), DefaultCapacity)
+	}
+	if s.Epochs() != nil || s.Len() != 0 || s.Dropped() != 0 {
+		t.Fatal("empty sampler should report no epochs")
+	}
+}
+
+func TestSamplerRecordAllocFree(t *testing.T) {
+	s := NewSampler(1, 16)
+	s.Rebase(snapshot(0))
+	k := uint64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Tick()
+		s.Record(snapshot(k))
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("Tick+Record allocates %.1f per epoch, want 0", allocs)
+	}
+}
+
+func TestNewSamplerPanicsOnZeroEpoch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler(0, ...) should panic")
+		}
+	}()
+	NewSampler(0, 4)
+}
+
+func TestStatsSub(t *testing.T) {
+	a := core.Stats{Walks: 10, ColdFills: 5, Evictions: 3, Writebacks: 2}
+	b := core.Stats{Walks: 4, ColdFills: 1, Evictions: 3}
+	d := a.Sub(b)
+	if d.Walks != 6 || d.ColdFills != 4 || d.Evictions != 0 || d.Writebacks != 2 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"taglessdram/internal/core"
 	"taglessdram/internal/cpu"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/obs"
 	"taglessdram/internal/sim"
 )
 
@@ -81,6 +82,17 @@ type Stats struct {
 	SRAMHitRate float64
 	// TagEnergyPJ is the on-die tag-array energy (SRAM-tag design only).
 	TagEnergyPJ float64
+}
+
+// GaugeSource is optionally implemented by organizations that expose
+// instantaneous state worth an epoch-resolved time series beyond
+// Collect's window counters — free-pool pressure, queue depths. When
+// epoch sampling is enabled the machine polls it at every epoch
+// boundary; designs without such state simply do not implement it and
+// their epochs carry zero gauges. Implementations must be read-only:
+// sampling must never perturb simulated behavior.
+type GaugeSource interface {
+	EpochGauges() obs.Gauges
 }
 
 // Organization is one DRAM-cache design: it serves L2 misses and dirty

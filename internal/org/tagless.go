@@ -6,6 +6,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/obs"
 	"taglessdram/internal/sim"
 )
 
@@ -98,18 +99,14 @@ func (o *Tagless) ResetStats() { o.start = o.ctrl.Stats() }
 
 // Collect reports the controller counters accumulated since ResetStats.
 func (o *Tagless) Collect(s *Stats) {
-	cur := o.ctrl.Stats()
-	s.Ctrl = core.Stats{
-		Walks:         cur.Walks - o.start.Walks,
-		NonCacheable:  cur.NonCacheable - o.start.NonCacheable,
-		VictimHits:    cur.VictimHits - o.start.VictimHits,
-		ColdFills:     cur.ColdFills - o.start.ColdFills,
-		PendingWaits:  cur.PendingWaits - o.start.PendingWaits,
-		AliasHits:     cur.AliasHits - o.start.AliasHits,
-		Rescues:       cur.Rescues - o.start.Rescues,
-		Evictions:     cur.Evictions - o.start.Evictions,
-		Writebacks:    cur.Writebacks - o.start.Writebacks,
-		SyncEvictions: cur.SyncEvictions - o.start.SyncEvictions,
-		Shootdowns:    cur.Shootdowns - o.start.Shootdowns,
+	s.Ctrl = o.ctrl.Stats().Sub(o.start)
+}
+
+// EpochGauges reports the controller's free-pool pressure for epoch
+// sampling: the free-list depth and the eviction daemon's queue length.
+func (o *Tagless) EpochGauges() obs.Gauges {
+	return obs.Gauges{
+		FreeBlocks:   o.ctrl.FreeBlocks(),
+		FreeQueueLen: o.ctrl.FreeQueueLen(),
 	}
 }

@@ -81,6 +81,7 @@ type Kernel struct {
 	events   eventHeap
 	pool     []*Event // free list of fired/cancelled events
 	executed uint64
+	tracer   *Tracer
 }
 
 // NewKernel returns a kernel at cycle zero with no pending events.
@@ -103,6 +104,11 @@ func (k *Kernel) Pending() int { return len(k.events) }
 
 // Executed returns the number of events run since construction.
 func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer. Every
+// subsequently fired event is recorded until the tracer's window fills.
+// Tracing is observational only: it never changes event order or time.
+func (k *Kernel) SetTracer(t *Tracer) { k.tracer = t }
 
 // get takes an event from the free list, or allocates one.
 func (k *Kernel) get() *Event {
@@ -182,6 +188,9 @@ func (k *Kernel) Step() bool {
 	k.syncNext()
 	k.now = e.When
 	k.executed++
+	if k.tracer != nil {
+		k.tracer.record(k.now, e)
+	}
 	if e.h != nil {
 		e.h.OnEvent(k.now, e)
 	} else {

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultTraceLimit bounds a Tracer's window when the caller does not
+// choose one. 100k events is a few MB of JSON — enough to see scheduler
+// behavior around a region of interest without tracing a whole run.
+const DefaultTraceLimit = 100000
+
+// TraceEvent is one kernel event in Chrome trace_event form (the JSON
+// consumed by chrome://tracing and Perfetto). Instant events ("ph":"i")
+// carry a name and a timestamp; we map simulated cycles onto the ts
+// field directly, so the viewer's nanoseconds read as CPU cycles.
+type TraceEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	TS    uint64 `json:"ts"`
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+	Scope string `json:"s"`
+}
+
+// Tracer records a bounded window of kernel events for export in Chrome
+// trace_event format. It is an observability hook only: attaching one
+// never changes event order or simulated time, it just snapshots each
+// event as it fires. Recording stops once the window fills; Dropped
+// reports how many events fired after that.
+//
+// A Tracer is not safe for concurrent use; attach it to one kernel.
+type Tracer struct {
+	limit   int
+	events  []TraceEvent
+	dropped uint64
+	// names caches the display name per Handler so the hot hook does a
+	// map lookup instead of a reflective fmt call per event. Handlers
+	// are long-lived bound callbacks, so the cache stays small.
+	names map[Handler]string
+}
+
+// NewTracer returns a tracer that records at most limit events
+// (DefaultTraceLimit when limit <= 0).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{
+		limit: limit,
+		names: make(map[Handler]string),
+	}
+}
+
+// record snapshots one fired event. Called by Kernel.Step with the
+// event still intact (before its handler runs and it is recycled).
+func (t *Tracer) record(now Tick, e *Event) {
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	name := "func"
+	if e.h != nil {
+		n, ok := t.names[e.h]
+		if !ok {
+			n = fmt.Sprintf("%T", e.h)
+			t.names[e.h] = n
+		}
+		name = n
+	}
+	t.events = append(t.events, TraceEvent{
+		Name:  name,
+		Phase: "i",
+		TS:    uint64(now),
+		PID:   1,
+		TID:   1,
+		Scope: "g",
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Dropped returns the number of events that fired after the window
+// filled and were not recorded.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Events returns the recorded window in firing order. The slice is the
+// tracer's own storage; callers must not mutate it.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// traceFile is the Chrome trace_event JSON envelope.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the recorded window as a Chrome trace_event JSON
+// object, loadable in chrome://tracing or Perfetto. Timestamps are
+// simulated cycles (displayed as ns).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ns",
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+type testHandler struct{ fired int }
+
+func (h *testHandler) OnEvent(now Tick, e *Event) { h.fired++ }
+
+func TestTracerRecordsEvents(t *testing.T) {
+	k := NewKernel()
+	tr := NewTracer(100)
+	k.SetTracer(tr)
+
+	h := &testHandler{}
+	k.Schedule(5, h, 0, 0, false, nil)
+	k.At(10, func(Tick) {})
+	k.Schedule(20, h, 0, 0, false, nil)
+	k.Run(0)
+
+	if tr.Len() != 3 {
+		t.Fatalf("recorded %d events, want 3", tr.Len())
+	}
+	es := tr.Events()
+	if es[0].TS != 5 || es[1].TS != 10 || es[2].TS != 20 {
+		t.Fatalf("timestamps = %d,%d,%d, want 5,10,20", es[0].TS, es[1].TS, es[2].TS)
+	}
+	if es[0].Name != "*sim.testHandler" {
+		t.Errorf("handler event name = %q, want *sim.testHandler", es[0].Name)
+	}
+	if es[1].Name != "func" {
+		t.Errorf("closure event name = %q, want func", es[1].Name)
+	}
+}
+
+func TestTracerWindowBound(t *testing.T) {
+	k := NewKernel()
+	tr := NewTracer(3)
+	k.SetTracer(tr)
+	for i := 0; i < 10; i++ {
+		k.At(Tick(i), func(Tick) {})
+	}
+	k.Run(0)
+	if tr.Len() != 3 {
+		t.Fatalf("recorded %d events, want window of 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestTracerWriteJSONWellFormed(t *testing.T) {
+	k := NewKernel()
+	tr := NewTracer(0)
+	k.SetTracer(tr)
+	h := &testHandler{}
+	for i := 0; i < 50; i++ {
+		k.Schedule(Tick(i*3), h, 0, 0, false, nil)
+	}
+	k.Run(0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+			Scope string `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 50 {
+		t.Fatalf("traceEvents = %d entries, want 50", len(doc.TraceEvents))
+	}
+	var prev uint64
+	for i, e := range doc.TraceEvents {
+		if e.Phase != "i" || e.Scope != "g" {
+			t.Fatalf("event %d: ph=%q s=%q, want instant/global", i, e.Phase, e.Scope)
+		}
+		if e.TS < prev {
+			t.Fatalf("event %d: ts %d < previous %d (must be monotone)", i, e.TS, prev)
+		}
+		prev = e.TS
+	}
+}
+
+func TestTracerWriteJSONEmpty(t *testing.T) {
+	tr := NewTracer(10)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("empty tracer traceEvents = %v, want []", doc["traceEvents"])
+	}
+}
+
+func TestTracerDoesNotPerturbKernel(t *testing.T) {
+	run := func(tr *Tracer) (Tick, uint64) {
+		k := NewKernel()
+		if tr != nil {
+			k.SetTracer(tr)
+		}
+		h := &testHandler{}
+		for i := 0; i < 20; i++ {
+			k.Schedule(Tick(i*7%13), h, 0, 0, false, nil)
+		}
+		k.Run(0)
+		return k.Now(), k.Executed()
+	}
+	nowA, execA := run(nil)
+	nowB, execB := run(NewTracer(5))
+	if nowA != nowB || execA != execB {
+		t.Fatalf("tracer changed kernel behavior: now %d vs %d, executed %d vs %d",
+			nowA, nowB, execA, execB)
+	}
+}

@@ -99,11 +99,20 @@ func (m *Mean) Sum() float64 { return m.mean * float64(m.n) }
 func (m *Mean) Reset() { *m = Mean{} }
 
 // Histogram is a fixed-width-bucket histogram over [0, BucketWidth*len).
-// Samples beyond the last bucket are clamped into an overflow bucket.
+// Samples beyond the last bucket land in an overflow bucket.
+//
+// Sample semantics: every observed sample is counted in Count, and every
+// sample lands in exactly one bucket, so the bucket counts plus Overflow
+// always sum to Count. Negative samples are clamped to zero (first
+// bucket) and contribute zero to the sum, keeping Mean consistent with
+// the bucket contents. Non-finite samples (NaN, ±Inf) are counted in the
+// overflow bucket and excluded from the sum, so Mean is the mean of the
+// finite (clamped) samples and stays finite.
 type Histogram struct {
 	BucketWidth float64
 	buckets     []uint64
 	overflow    uint64
+	nonFinite   uint64 // NaN/±Inf samples; subset of overflow, excluded from sum
 	total       uint64
 	sum         float64
 }
@@ -119,18 +128,21 @@ func NewHistogram(n int, width float64) *Histogram {
 	return &Histogram{BucketWidth: width, buckets: make([]uint64, n)}
 }
 
-// Observe records one sample. Negative samples are clamped into the first
-// bucket; NaN and +Inf are counted in the overflow bucket.
+// Observe records one sample. Negative samples are clamped to zero (first
+// bucket, zero contribution to the sum); non-finite samples (NaN, -Inf and
+// +Inf alike) are counted in the overflow bucket and kept out of the sum so
+// a single bad sample cannot poison Mean.
 func (h *Histogram) Observe(x float64) {
 	h.total++
-	if math.IsNaN(x) || math.IsInf(x, 1) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
 		h.overflow++
+		h.nonFinite++
 		return
 	}
-	h.sum += x
 	if x < 0 {
 		x = 0
 	}
+	h.sum += x
 	i := int(x / h.BucketWidth)
 	if i < 0 || i >= len(h.buckets) {
 		h.overflow++
@@ -142,12 +154,15 @@ func (h *Histogram) Observe(x float64) {
 // Count returns the total number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
-// Mean returns the arithmetic mean of all samples.
+// Mean returns the arithmetic mean of the finite samples (negative samples
+// clamped to zero, matching the buckets), or 0 when no finite sample has
+// been observed.
 func (h *Histogram) Mean() float64 {
-	if h.total == 0 {
+	finite := h.total - h.nonFinite
+	if finite == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	return h.sum / float64(finite)
 }
 
 // Bucket returns the count in bucket i.
@@ -160,8 +175,13 @@ func (h *Histogram) Buckets() int { return len(h.buckets) }
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
 // Percentile returns an estimate of the p-th percentile (0 < p <= 100) using
-// the bucket midpoints. Overflow samples are treated as the upper bound.
+// the bucket midpoints. Overflow samples are treated as the upper bound
+// (BucketWidth * Buckets), so a mostly-overflow histogram reports the upper
+// bound for high percentiles. p outside (0, 100] (including NaN) returns NaN.
 func (h *Histogram) Percentile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p > 100 {
+		return math.NaN()
+	}
 	if h.total == 0 {
 		return 0
 	}
@@ -210,7 +230,11 @@ func NewRegistry() *Registry {
 }
 
 // Set records (or overwrites) a named value, preserving first-set order.
+// The zero-value Registry is usable: Set initializes storage on demand.
 func (r *Registry) Set(name string, v float64) {
+	if r.values == nil {
+		r.values = make(map[string]float64)
+	}
 	if _, ok := r.values[name]; !ok {
 		r.order = append(r.order, name)
 	}

@@ -166,24 +166,118 @@ func TestHistogramPanics(t *testing.T) {
 	mustPanic("zero width", func() { NewHistogram(4, 0) })
 }
 
-// Property: histogram conserves samples (buckets + overflow == total).
+// Property: histogram conserves samples (buckets + overflow == total), for
+// every input including NaN and ±Inf, and the mean stays finite.
 func TestHistogramConservationProperty(t *testing.T) {
 	f := func(xs []float64) bool {
 		h := NewHistogram(8, 2.5)
+		canOverflow := false
 		for _, x := range xs {
-			if math.IsNaN(x) {
-				continue
-			}
 			h.Observe(x)
+			// The running sum of finite samples can itself overflow to
+			// +Inf near math.MaxFloat64; that is float arithmetic, not a
+			// bookkeeping bug, so only require a finite mean below it.
+			if x > 1e300 {
+				canOverflow = true
+			}
 		}
 		var sum uint64
 		for i := 0; i < h.Buckets(); i++ {
 			sum += h.Bucket(i)
 		}
-		return sum+h.Overflow() == h.Count()
+		if sum+h.Overflow() != h.Count() {
+			return false
+		}
+		if canOverflow {
+			return true
+		}
+		return !math.IsNaN(h.Mean()) && !math.IsInf(h.Mean(), 0)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Non-finite samples must land in overflow and must not poison the mean.
+// Before the fix, -Inf slipped past the +Inf-only guard, was added to the
+// sum, and drove Mean to -Inf forever.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Observe(5)
+	h.Observe(15)
+	for _, bad := range []float64{math.Inf(-1), math.Inf(1), math.NaN()} {
+		h.Observe(bad)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Overflow() != 3 {
+		t.Fatalf("overflow = %d, want 3 (all non-finite samples)", h.Overflow())
+	}
+	if got := h.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("mean = %v, want 10 (mean of the finite samples)", got)
+	}
+	var sum uint64
+	for i := 0; i < h.Buckets(); i++ {
+		sum += h.Bucket(i)
+	}
+	if sum+h.Overflow() != h.Count() {
+		t.Fatalf("buckets+overflow = %d, want count %d", sum+h.Overflow(), h.Count())
+	}
+}
+
+// Negative samples are clamped to zero in both the buckets and the sum, so
+// Mean agrees with the bucket contents. Before the fix the sum took the
+// unclamped value while bucket 0 took the clamped one.
+func TestHistogramNegativeClampMean(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Observe(-100)
+	h.Observe(20)
+	if h.Bucket(0) != 1 || h.Bucket(2) != 1 {
+		t.Fatalf("buckets = [%d %d %d %d], want [1 0 1 0]",
+			h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	// Clamped: (0 + 20) / 2, not (-100 + 20) / 2.
+	if got := h.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("mean = %v, want 10 (clamped), not -40 (unclamped)", got)
+	}
+}
+
+func TestHistogramOnlyNonFiniteMean(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("mean with no finite samples = %v, want 0", got)
+	}
+}
+
+func TestPercentileValidation(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Observe(5)
+	for _, p := range []float64{0, -1, 100.5, math.NaN()} {
+		if got := h.Percentile(p); !math.IsNaN(got) {
+			t.Errorf("Percentile(%v) = %v, want NaN", p, got)
+		}
+	}
+	if got := h.Percentile(100); math.IsNaN(got) {
+		t.Errorf("Percentile(100) = NaN, want a value")
+	}
+}
+
+// Pin the documented overflow behavior: with most samples beyond the last
+// bucket, high percentiles report the histogram's upper bound.
+func TestPercentileOverflowHeavy(t *testing.T) {
+	h := NewHistogram(4, 10) // upper bound 40
+	h.Observe(5)
+	for i := 0; i < 9; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Percentile(99); got != 40 {
+		t.Errorf("p99 of overflow-heavy histogram = %v, want upper bound 40", got)
+	}
+	if got := h.Percentile(5); got != 5 {
+		t.Errorf("p5 = %v, want 5 (midpoint of bucket 0)", got)
 	}
 }
 
@@ -221,5 +315,27 @@ func TestRegistryOrderAndOverwrite(t *testing.T) {
 	}
 	if r.String() == "" {
 		t.Fatal("string form should not be empty")
+	}
+}
+
+// The zero-value Registry must be usable; before the fix, Set on a
+// zero-value Registry panicked writing to its nil map.
+func TestRegistryZeroValue(t *testing.T) {
+	var r Registry
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("zero registry should have no values")
+	}
+	if s := r.String(); s != "" {
+		t.Fatalf("zero registry String() = %q, want empty", s)
+	}
+	if got := r.Sorted(); len(got) != 0 {
+		t.Fatalf("zero registry Sorted() = %v, want empty", got)
+	}
+	r.Set("x", 1.5)
+	if v, ok := r.Get("x"); !ok || v != 1.5 {
+		t.Fatalf("get after zero-value Set = %v,%v, want 1.5,true", v, ok)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v, want [x]", names)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"taglessdram/internal/cpu"
 	"taglessdram/internal/dram"
 	"taglessdram/internal/mmu"
+	"taglessdram/internal/obs"
 	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/stats"
@@ -113,6 +114,12 @@ type Machine struct {
 	tlbLookups stats.Counter
 	tlbMisses  stats.Counter
 	ncAccesses stats.Counter
+
+	// Observability state: the optional epoch sampler (nil keeps the
+	// per-reference path to a single pointer check) and the organization's
+	// gauge view, resolved once at construction.
+	sampler *obs.Sampler
+	gauges  org.GaugeSource
 }
 
 // New builds a machine for the configuration and workload.
@@ -256,7 +263,54 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		m.caShift = m.spShift + 12 // log2(spPages * config.PageSize)
 	}
 	m.sched = make([]*coreCtx, 0, len(m.cores))
+	m.gauges, _ = o.(org.GaugeSource)
 	return m, nil
+}
+
+// AttachSampler installs an epoch sampler: every sampler.EpochRefs()
+// measured references the machine snapshots its counters and records one
+// epoch delta. Attach before Run. Sampling is read-only — it never
+// changes simulated behavior — and a nil sampler (the default) keeps the
+// steady-state step path allocation-free.
+func (m *Machine) AttachSampler(s *obs.Sampler) { m.sampler = s }
+
+// SetTracer installs a kernel event tracer (Chrome trace_event format,
+// bounded window). Install before Run; pass nil to disable.
+func (m *Machine) SetTracer(t *sim.Tracer) { m.kernel.SetTracer(t) }
+
+// cumulative assembles the monotone counter snapshot the epoch sampler
+// diffs: measured-window core clocks and instruction counts, the L3/cTLB
+// measurement counters, both DRAM devices' traffic and row-buffer
+// counters, the organization's window counters, and its gauges.
+func (m *Machine) cumulative() obs.Cumulative {
+	var c obs.Cumulative
+	var lead sim.Tick
+	for _, cc := range m.cores {
+		if !cc.active {
+			continue
+		}
+		c.Instructions += cc.cpu.Instructions - cc.startInstr
+		if d := cc.cpu.Now() - cc.startCycle; d > lead {
+			lead = d
+		}
+	}
+	c.Cycle = uint64(lead)
+	c.Refs = m.refs
+	c.L3Accesses = m.l3Accesses.Value()
+	c.L3Hits = m.l3Hits.Value()
+	c.TLBLookups = m.tlbLookups.Value()
+	c.TLBMisses = m.tlbMisses.Value()
+	c.InPkgBytes = m.inPkg.BytesTransferred()
+	c.OffPkgBytes = m.offPkg.BytesTransferred()
+	c.InPkgRowAccesses, c.InPkgRowHits = m.inPkg.Accesses, m.inPkg.RowHits
+	c.OffPkgRowAccesses, c.OffPkgRowHits = m.offPkg.Accesses, m.offPkg.RowHits
+	var os org.Stats
+	m.org.Collect(&os)
+	c.Ctrl = os.Ctrl
+	if m.gauges != nil {
+		c.Gauges = m.gauges.EpochGauges()
+	}
+	return c
 }
 
 // onPageEvicted flushes CA-tagged on-die lines of a region leaving the

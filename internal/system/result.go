@@ -7,6 +7,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
 	"taglessdram/internal/energy"
+	"taglessdram/internal/obs"
 	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/stats"
@@ -58,6 +59,14 @@ type Result struct {
 	// denominators, not paper metrics.
 	References   uint64
 	KernelEvents uint64
+
+	// Epochs is the epoch-resolved time series captured when a sampler
+	// was attached (nil otherwise): per-epoch counter deltas and gauges,
+	// oldest first. EpochsDropped counts epochs lost to the sampler's
+	// ring wrapping. Neither field enters golden fingerprints — sampling
+	// is observability, not simulated behavior.
+	Epochs        []obs.Epoch
+	EpochsDropped int
 }
 
 // collect assembles the Result after the measured phase.
@@ -133,6 +142,10 @@ func (m *Machine) collect() *Result {
 	r.OffPkgBytes = m.offPkg.BytesTransferred()
 	r.References = m.refs
 	r.KernelEvents = m.kernel.Executed()
+	if m.sampler != nil {
+		r.Epochs = m.sampler.Epochs()
+		r.EpochsDropped = m.sampler.Dropped()
+	}
 	return r
 }
 

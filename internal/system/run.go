@@ -215,6 +215,11 @@ func (m *Machine) beginMeasurement() {
 	m.tlbMisses.Reset()
 	m.ncAccesses.Reset()
 	m.org.ResetStats()
+	if m.sampler != nil {
+		// Epoch zero starts here: rebase the sampler's cumulative
+		// baseline on the freshly reset counters.
+		m.sampler.Rebase(m.cumulative())
+	}
 }
 
 // step processes one trace reference on one core.
@@ -223,6 +228,12 @@ func (m *Machine) step(cc *coreCtx) error {
 	cc.cpu.Retire(a.Gap + 1)
 	m.kernel.Advance(cc.cpu.Now())
 	m.refs++
+	// Epoch sampling: one pointer check when disabled; boundaries land
+	// between references (the closing reference's effects count toward
+	// the next epoch).
+	if m.sampler != nil && m.measuring && m.sampler.Tick() {
+		m.sampler.Record(m.cumulative())
+	}
 	vpn := a.VAddr >> 12
 	write := a.Write
 

@@ -96,6 +96,71 @@ func (c Chart) Render() string {
 	return sb.String()
 }
 
+const sparkLevels = "▁▂▃▄▅▆▇█"
+
+// Sparkline renders xs as one line of block characters scaled to
+// [min, max] of the finite values, resampling down to at most width
+// points (<= 0 means no limit) by averaging each span. Non-finite values
+// render as spaces. It is used to show epoch time series — IPC, hit
+// rates — inline in terminal output.
+func Sparkline(xs []float64, width int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	if width > 0 && len(xs) > width {
+		resampled := make([]float64, width)
+		for i := range resampled {
+			lo := i * len(xs) / width
+			hi := (i + 1) * len(xs) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum, n := 0.0, 0
+			for _, x := range xs[lo:hi] {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					continue
+				}
+				sum += x
+				n++
+			}
+			if n == 0 {
+				resampled[i] = math.NaN()
+			} else {
+				resampled[i] = sum / float64(n)
+			}
+		}
+		xs = resampled
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo > hi { // no finite values
+		return strings.Repeat(" ", len(xs))
+	}
+	levels := []rune(sparkLevels)
+	var sb strings.Builder
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			sb.WriteByte(' ')
+			continue
+		}
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(levels)))
+			if i >= len(levels) {
+				i = len(levels) - 1
+			}
+		}
+		sb.WriteRune(levels[i])
+	}
+	return sb.String()
+}
+
 // GroupedChart renders one chart per group key, preserving group order.
 type GroupedChart struct {
 	Title  string

@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -91,6 +92,54 @@ func TestCustomFormat(t *testing.T) {
 	c := Chart{Bars: []Bar{{"a", 12.3456}}, Format: "%.1f"}
 	if !strings.Contains(c.Render(), "12.3") {
 		t.Fatal("custom format ignored")
+	}
+}
+
+func TestSparklineBasics(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 3}, 0)
+	runes := []rune(out)
+	if len(runes) != 4 {
+		t.Fatalf("len = %d, want 4: %q", len(runes), out)
+	}
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("min/max levels wrong: %q", out)
+	}
+	// Monotone input must render monotone levels.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("non-monotone rendering: %q", out)
+		}
+	}
+}
+
+func TestSparklineResample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	out := Sparkline(xs, 10)
+	if n := len([]rune(out)); n != 10 {
+		t.Fatalf("resampled width = %d, want 10: %q", n, out)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	// Constant series: all lowest level, no divide-by-zero.
+	if out := Sparkline([]float64{5, 5, 5}, 0); out != "▁▁▁" {
+		t.Fatalf("constant series = %q, want all-low", out)
+	}
+	// All non-finite: spaces.
+	nan := math.NaN()
+	if out := Sparkline([]float64{nan, nan}, 0); out != "  " {
+		t.Fatalf("all-NaN series = %q, want spaces", out)
+	}
+	// Mixed: NaN renders as a gap.
+	out := Sparkline([]float64{0, nan, 1}, 0)
+	if []rune(out)[1] != ' ' {
+		t.Fatalf("NaN should render as space: %q", out)
 	}
 }
 

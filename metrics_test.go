@@ -1,0 +1,216 @@
+package taglessdram_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taglessdram"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// epochOptions is the fixed configuration the metrics fixtures use: the
+// golden scale with epoch sampling on.
+func epochOptions() taglessdram.Options {
+	o := goldenOptions()
+	o.EpochRefs = 2000
+	return o
+}
+
+// Attaching the epoch sampler must not change a single simulated metric:
+// the fingerprint with sampling on must equal the sampling-off golden.
+func TestEpochSamplingDoesNotPerturb(t *testing.T) {
+	for _, key := range []string{"sphinx3/cTLB", "MIX1/SRAM"} {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			want, ok := golden[key]
+			if !ok {
+				t.Fatalf("missing golden entry for %s", key)
+			}
+			var design taglessdram.Design
+			var workload string
+			switch key {
+			case "sphinx3/cTLB":
+				workload, design = "sphinx3", taglessdram.Tagless
+			case "MIX1/SRAM":
+				workload, design = "MIX1", taglessdram.SRAMTag
+			}
+			r, err := taglessdram.Run(design, workload, epochOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(r); got != want {
+				t.Errorf("sampling perturbed the run:\n got: %s\nwant: %s", got, want)
+			}
+			if len(r.Epochs) == 0 {
+				t.Error("no epochs captured with EpochRefs set")
+			}
+		})
+	}
+}
+
+// The metrics-JSON bytes for a fixed run are a golden fixture: schema or
+// formatting drift fails here first (regenerate with -update).
+func TestWriteMetricsJSONGolden(t *testing.T) {
+	r, err := taglessdram.Run(taglessdram.Tagless, "sphinx3", epochOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := taglessdram.WriteMetricsJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics_golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run MetricsJSONGolden -update .` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics JSON drifted from %s (regenerate with -update if intended)\n got: %.400s\nwant: %.400s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// Every line of the stream must be valid JSON with the documented type
+// tags, one "run" line per result followed by its "epoch" lines, and at
+// least one epoch per sampled design.
+func TestMetricsJSONSchema(t *testing.T) {
+	o := epochOptions()
+	o.Warmup, o.Measure = 100_000, 100_000
+	var results []*taglessdram.Result
+	for _, d := range []taglessdram.Design{taglessdram.NoL3, taglessdram.Tagless} {
+		r, err := taglessdram.Run(d, "sphinx3", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	var buf bytes.Buffer
+	if err := taglessdram.WriteMetricsJSON(&buf, results...); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	runs, epochs := 0, 0
+	for dec.More() {
+		var line struct {
+			Type     string             `json:"type"`
+			Workload string             `json:"workload"`
+			Design   string             `json:"design"`
+			Metrics  map[string]float64 `json:"metrics"`
+			Refs     *uint64            `json:"refs"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("invalid JSON line: %v", err)
+		}
+		if line.Workload != "sphinx3" || line.Design == "" {
+			t.Fatalf("line missing identity: %+v", line)
+		}
+		switch line.Type {
+		case "run":
+			runs++
+			for _, key := range []string{"ipc", "cycles", "l3.hit_rate", "energy.total_j"} {
+				if _, ok := line.Metrics[key]; !ok {
+					t.Errorf("run line missing metric %q", key)
+				}
+			}
+		case "epoch":
+			epochs++
+			if line.Refs == nil {
+				t.Error("epoch line missing refs")
+			}
+		default:
+			t.Fatalf("unknown line type %q", line.Type)
+		}
+	}
+	if runs != 2 {
+		t.Errorf("run lines = %d, want 2", runs)
+	}
+	if epochs == 0 {
+		t.Error("no epoch lines in stream")
+	}
+}
+
+// The sweep-level MetricsSink must yield byte-identical output at any
+// Workers width: results are delivered in submission order after the
+// sweep, regardless of completion order.
+func TestMetricsSinkWorkersInvariant(t *testing.T) {
+	runAt := func(workers int) []byte {
+		o := epochOptions()
+		o.Warmup, o.Measure = 50_000, 50_000
+		o.Workers = workers
+		var buf bytes.Buffer
+		o.MetricsSink = func(r *taglessdram.Result) {
+			if err := taglessdram.WriteMetricsJSON(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := taglessdram.RunFigure11(o, []string{"MIX1", "MIX2"}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := runAt(1)
+	parallel := runAt(4)
+	if len(serial) == 0 {
+		t.Fatal("sink received no output")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Error("metrics JSON differs between Workers=1 and Workers=4")
+	}
+}
+
+// Options.TraceEvents must produce a well-formed Chrome trace_event
+// document with monotone timestamps and a bounded event count.
+func TestTraceEventsWellFormed(t *testing.T) {
+	o := goldenOptions()
+	o.Warmup, o.Measure = 50_000, 50_000
+	o.TraceEventLimit = 2000
+	var buf bytes.Buffer
+	o.TraceEvents = &buf
+	if _, err := taglessdram.Run(taglessdram.Tagless, "sphinx3", o); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if len(doc.TraceEvents) > 2000 {
+		t.Fatalf("trace window not bounded: %d events", len(doc.TraceEvents))
+	}
+	var prev uint64
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Phase != "i" {
+			t.Fatalf("event %d malformed: %+v", i, e)
+		}
+		if e.TS < prev {
+			t.Fatalf("event %d: ts %d < previous %d (must be monotone)", i, e.TS, prev)
+		}
+		prev = e.TS
+	}
+}

@@ -38,8 +38,14 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 	return sweep.Run(ctx, jobs, func(_ context.Context, j Job) (*Result, error) {
 		// Per-run throughput summaries would arrive unserialized from
 		// worker goroutines; the sweep engine's own OnProgress is the
-		// single reporting channel for sweeps.
+		// single reporting channel for sweeps. Likewise per-job metric
+		// sinks and trace writers would interleave across workers: the
+		// sweep-level MetricsSink (called in submission order after the
+		// sweep) is the structured-export channel, and event tracing is
+		// a single-run affair.
 		j.Options.Progress = nil
+		j.Options.MetricsSink = nil
+		j.Options.TraceEvents = nil
 		r, err := Run(j.Design, j.Workload, j.Options)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)
@@ -49,9 +55,18 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 }
 
 // runJobs is the figure/table runners' shared entry point: the fan-out
-// width and progress callback come from the sweep's own Options.
+// width and progress callback come from the sweep's own Options. When the
+// sweep-level Options carry a MetricsSink, every completed Result is
+// delivered to it in submission order after the sweep finishes — the
+// order (and therefore any serialized output) is independent of Workers.
 func runJobs(o Options, jobs []Job) ([]*Result, error) {
-	return sweepRun(context.Background(), jobs, o.sweepOptions())
+	results, err := sweepRun(context.Background(), jobs, o.sweepOptions())
+	if err == nil && o.MetricsSink != nil {
+		for _, r := range results {
+			o.MetricsSink(r)
+		}
+	}
+	return results, err
 }
 
 // sweepOptions extracts the engine knobs from simulation options.

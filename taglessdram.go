@@ -18,10 +18,13 @@ package taglessdram
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"taglessdram/internal/config"
+	"taglessdram/internal/obs"
 	"taglessdram/internal/org"
+	"taglessdram/internal/sim"
 	"taglessdram/internal/system"
 	"taglessdram/internal/trace"
 )
@@ -129,6 +132,29 @@ type Options struct {
 	// summary (trace references and kernel events per wall-clock second)
 	// in the Summary field.
 	Progress func(SweepProgress)
+	// EpochRefs enables epoch-resolved sampling: every EpochRefs measured
+	// references the machine snapshots its counters and the Result carries
+	// the per-epoch deltas in Result.Epochs (0 = off, the default; the hot
+	// path stays allocation-free when off). Sampling is observational only
+	// and never changes a run's metrics.
+	EpochRefs uint64
+	// EpochCapacity bounds the epoch ring; once full, older epochs are
+	// dropped and Result.EpochsDropped counts them (0 = a generous
+	// default, obs.DefaultCapacity).
+	EpochCapacity int
+	// MetricsSink, when non-nil, receives every completed Result: once
+	// after a single Run, and once per job — in submission order, after
+	// all jobs finish — for a sweep. Use WriteMetricsJSON inside the sink
+	// to stream structured metrics; the submission-order guarantee makes
+	// the output byte-identical across Workers settings.
+	MetricsSink func(*Result)
+	// TraceEvents, when non-nil, receives a Chrome trace_event JSON
+	// document (chrome://tracing, Perfetto) of the first TraceEventLimit
+	// kernel events of the run. Single Run only; sweeps ignore it (jobs
+	// would interleave on the shared writer).
+	TraceEvents io.Writer
+	// TraceEventLimit bounds the trace window (0 = sim.DefaultTraceLimit).
+	TraceEventLimit int
 }
 
 // DefaultOptions returns the experiments' standard scale: 64× shrink,
@@ -214,11 +240,27 @@ func Run(design Design, workload string, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.EpochRefs > 0 {
+		m.AttachSampler(obs.NewSampler(o.EpochRefs, o.EpochCapacity))
+	}
+	var tracer *sim.Tracer
+	if o.TraceEvents != nil {
+		tracer = sim.NewTracer(o.TraceEventLimit)
+		m.SetTracer(tracer)
+	}
 	if o.Warmup == 0 {
 		o.Warmup = o.Measure
 	}
 	start := time.Now()
 	r, err := m.Run(o.Warmup, o.Measure)
+	if err == nil && tracer != nil {
+		if werr := tracer.WriteJSON(o.TraceEvents); werr != nil {
+			return r, fmt.Errorf("taglessdram: writing trace events: %w", werr)
+		}
+	}
+	if err == nil && o.MetricsSink != nil {
+		o.MetricsSink(r)
+	}
 	if err == nil && o.Progress != nil {
 		wall := time.Since(start)
 		var refsPerSec, eventsPerSec float64
@@ -261,6 +303,12 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("taglessdram: Workers must be non-negative, got %d", o.Workers)
+	}
+	if o.EpochCapacity < 0 {
+		return fmt.Errorf("taglessdram: EpochCapacity must be non-negative, got %d", o.EpochCapacity)
+	}
+	if o.TraceEventLimit < 0 {
+		return fmt.Errorf("taglessdram: TraceEventLimit must be non-negative, got %d", o.TraceEventLimit)
 	}
 	return nil
 }
