@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"taglessdram/internal/config"
+	"taglessdram/internal/stats"
 	"taglessdram/internal/system"
 )
 
@@ -47,6 +48,27 @@ type report struct {
 	Designs    []designReport `json:"designs"`
 }
 
+// latChunks is how many timing chunks each repetition is split into for
+// the step-cost distribution; the tail report needs enough chunks that
+// p99 is a real sample, and each chunk long enough to amortize the
+// clock reads.
+const latChunks = 64
+
+type latDesignReport struct {
+	Design    string  `json:"design"`
+	P50NsRef  float64 `json:"p50_ns_per_ref"`
+	P99NsRef  float64 `json:"p99_ns_per_ref"`
+	Chunks    uint64  `json:"chunks"`
+	ChunkRefs int     `json:"chunk_refs"`
+}
+
+type latReport struct {
+	Tool      string            `json:"tool"`
+	GoVersion string            `json:"go_version"`
+	Note      string            `json:"note"`
+	Designs   []latDesignReport `json:"designs"`
+}
+
 // baselineNote qualifies the embedded baselines: absolute ns/ref moves
 // with machine load, so speedups are only exact when both sides run
 // under the same conditions. Interleaved pre/post runs on a loaded
@@ -54,7 +76,7 @@ type report struct {
 const baselineNote = "baselines captured at the pre-optimization commit on an idle machine; " +
 	"re-measure both sides interleaved for exact ratios under load"
 
-func meter(design config.L3Design, refs, reps, warm int) (designReport, error) {
+func meter(design config.L3Design, refs, reps, warm int) (designReport, latDesignReport, error) {
 	cfg := config.Default()
 	cfg.Design = design
 	cfg.InPkg.SizeBytes >>= 6
@@ -62,27 +84,45 @@ func meter(design config.L3Design, refs, reps, warm int) (designReport, error) {
 	cfg.CacheSize >>= 6
 	w, err := system.SingleProgram("libquantum", 6, 1)
 	if err != nil {
-		return designReport{}, err
+		return designReport{}, latDesignReport{}, err
 	}
 	m, err := system.New(cfg, w)
 	if err != nil {
-		return designReport{}, err
+		return designReport{}, latDesignReport{}, err
 	}
 	if err := m.Steps(warm); err != nil {
-		return designReport{}, err
+		return designReport{}, latDesignReport{}, err
 	}
 	m.Drain()
+
+	chunkRefs := refs / latChunks
+	if chunkRefs == 0 {
+		chunkRefs = 1
+	}
+	// Chunk-level ns/ref distribution: 1ns buckets up to 4096ns, far past
+	// any steady-state step cost; slower chunks land in overflow and
+	// report the upper bound.
+	hist := stats.NewHistogram(4096, 1)
 
 	best := designReport{Design: design.String()}
 	var ms runtime.MemStats
 	for rep := 0; rep < reps; rep++ {
 		runtime.ReadMemStats(&ms)
 		mallocs := ms.Mallocs
-		start := time.Now()
-		if err := m.Steps(refs); err != nil {
-			return designReport{}, err
+		var elapsed time.Duration
+		for done := 0; done < refs; done += chunkRefs {
+			n := chunkRefs
+			if refs-done < n {
+				n = refs - done
+			}
+			start := time.Now()
+			if err := m.Steps(n); err != nil {
+				return designReport{}, latDesignReport{}, err
+			}
+			d := time.Since(start)
+			elapsed += d
+			hist.Observe(float64(d.Nanoseconds()) / float64(n))
 		}
-		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms)
 
 		ns := float64(elapsed.Nanoseconds()) / float64(refs)
@@ -98,11 +138,20 @@ func meter(design config.L3Design, refs, reps, warm int) (designReport, error) {
 		best.BaselineNs = base
 		best.Speedup = base / best.NsPerRef
 	}
-	return best, nil
+	qs := hist.Quantiles([]float64{50, 99})
+	lr := latDesignReport{
+		Design:    best.Design,
+		P50NsRef:  qs[0],
+		P99NsRef:  qs[1],
+		Chunks:    hist.Count(),
+		ChunkRefs: chunkRefs,
+	}
+	return best, lr, nil
 }
 
 func main() {
 	out := flag.String("o", "BENCH_step.json", "output path ('-' for stdout)")
+	latOut := flag.String("lat-o", "", "also write the chunked step-cost distribution (p50/p99 ns/ref) to this path, e.g. BENCH_lat.json")
 	refs := flag.Int("n", 1_000_000, "references per repetition")
 	reps := flag.Int("reps", 5, "repetitions per design (best-of)")
 	warm := flag.Int("warm", 100_000, "warm-up references before timing")
@@ -115,35 +164,52 @@ func main() {
 		Reps:       *reps,
 		Note:       baselineNote,
 	}
+	lr := latReport{
+		Tool:      "cmd/benchstep",
+		GoVersion: runtime.Version(),
+		Note: "wall-clock step cost per chunk of references, all repetitions pooled; " +
+			"p99/p50 spread measures scheduler + GC jitter, not simulated latency",
+	}
 	for _, d := range []config.L3Design{
 		config.NoL3, config.BankInterleave, config.SRAMTag, config.Tagless, config.Ideal,
 		config.Banshee,
 	} {
-		dr, err := meter(d, *refs, *reps, *warm)
+		dr, ldr, err := meter(d, *refs, *reps, *warm)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchstep: %s: %v\n", d, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "%-6s %7.2f ns/ref  %.4f allocs/ref", dr.Design, dr.NsPerRef, dr.AllocsPerRef)
+		fmt.Fprintf(os.Stderr, "%-6s %7.2f ns/ref  %.4f allocs/ref  p50 %.1f p99 %.1f",
+			dr.Design, dr.NsPerRef, dr.AllocsPerRef, ldr.P50NsRef, ldr.P99NsRef)
 		if dr.Speedup != 0 {
 			fmt.Fprintf(os.Stderr, "  %.2fx vs pre-PR %.2f ns", dr.Speedup, dr.BaselineNs)
 		}
 		fmt.Fprintln(os.Stderr)
 		r.Designs = append(r.Designs, dr)
+		lr.Designs = append(lr.Designs, ldr)
 	}
 
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
+	if err := writeJSON(*out, r); err != nil {
 		fmt.Fprintln(os.Stderr, "benchstep:", err)
 		os.Exit(1)
+	}
+	if *latOut != "" {
+		if err := writeJSON(*latOut, lr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchstep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
-		os.Stdout.Write(buf)
-		return
+	if path == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchstep:", err)
-		os.Exit(1)
-	}
+	return os.WriteFile(path, buf, 0o644)
 }

@@ -39,6 +39,8 @@ func main() {
 		prog     = flag.Bool("progress", false, "print a wall-clock throughput summary and epoch sparklines to stderr")
 		epoch    = flag.Uint64("epoch-refs", 2000, "epoch length in measured references for time-series sampling (0 = off)")
 		metrics  = flag.String("metrics-json", "", "write the full metric registry and epoch series as JSON lines to this file")
+		latHist  = flag.Bool("lat-hist", false, "print the latency attribution breakdown, tail histograms and per-bank DRAM telemetry")
+		selfchk  = flag.Bool("selfcheck", false, "verify cycle-accounting conservation and (cTLB/SRAM) the Equations 1-5 closed forms, exit nonzero on failure")
 		traceOut = flag.String("trace-events", "", "write a Chrome trace_event JSON (chrome://tracing) of the first kernel events to this file")
 		traceMax = flag.Int("trace-max", 0, "trace window size in events (0 = default)")
 	)
@@ -143,9 +145,92 @@ func main() {
 			fmt.Printf("NC accesses:     %d\n", r.NCAccesses)
 		}
 	}
+	if *latHist {
+		printLatency(r)
+	}
+	if *selfchk {
+		if err := taglessdram.CheckLatencyAttribution(r); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("selfcheck:       conservation exact over %d L3 + %d handler commits\n",
+			r.Latency.L3.Commits, r.Latency.Handler.Commits)
+		if err := taglessdram.CheckLatencyModel(r, 0.02); err != nil {
+			fatal(err)
+		}
+		if r.Design == taglessdram.Tagless || r.Design == taglessdram.SRAMTag {
+			fmt.Printf("selfcheck:       Equations 1-5 reproduce measured latency within 2%%\n")
+		}
+	}
 	if *prog && len(r.Epochs) > 0 {
 		printSparklines(r)
 	}
+}
+
+// printLatency renders the cycle-accounting surface: the per-component
+// stall breakdown for both scopes, the L3/handler latency histograms, and
+// the per-bank DRAM telemetry.
+func printLatency(r *taglessdram.Result) {
+	names := taglessdram.LatencyComponentNames()
+	s := &r.Latency
+	fmt.Printf("\nlatency attribution (stall cycles, measured window)\n")
+	fmt.Printf("  %-15s %15s %15s %12s\n", "component", "L3 scope", "handler scope", "background")
+	for i, n := range names {
+		if s.L3.Cycles[i] == 0 && s.Handler.Cycles[i] == 0 && s.Bg.Cycles[i] == 0 {
+			continue
+		}
+		fmt.Printf("  %-15s %15d %15d %12d\n", n, s.L3.Cycles[i], s.Handler.Cycles[i], s.Bg.Cycles[i])
+	}
+	fmt.Printf("  %-15s %15d %15d %12d  (commits %d/%d, residue %d/%d)\n",
+		"total", s.L3.Measured, s.Handler.Measured, s.Bg.Total(),
+		s.L3.Commits, s.Handler.Commits, s.L3.Residue, s.Handler.Residue)
+
+	fmt.Println()
+	fmt.Print(textplot.Histogram(
+		fmt.Sprintf("L3 access latency (cycles): p50 %.0f p99 %.0f p99.9 %.0f max %d",
+			s.L3Lat.Quantile(50), s.L3Lat.Quantile(99), s.L3Lat.Quantile(99.9), s.L3Lat.Max()),
+		histBars(s.L3Lat.Rows()), 40))
+	if s.HandlerLat.Count() > 0 {
+		fmt.Println()
+		fmt.Print(textplot.Histogram(
+			fmt.Sprintf("TLB-miss handler latency (cycles): p50 %.0f p99 %.0f max %d",
+				s.HandlerLat.Quantile(50), s.HandlerLat.Quantile(99), s.HandlerLat.Max()),
+			histBars(s.HandlerLat.Rows()), 40))
+	}
+
+	printBanks := func(name string, banks []taglessdram.BankStat, busy uint64, channels int) {
+		if len(banks) == 0 {
+			return
+		}
+		var hits, confls, maxBusy uint64
+		for _, b := range banks {
+			hits += b.Hits
+			confls += b.Confls
+			if b.BusyTicks > maxBusy {
+				maxBusy = b.BusyTicks
+			}
+		}
+		fmt.Printf("  %-11s %3d banks: %d row hits, %d row conflicts, hottest bank busy %.1f%%, bus busy %.1f%%\n",
+			name, len(banks), hits, confls,
+			pct(maxBusy, r.Cycles), pct(busy, r.Cycles*uint64(max(channels, 1))))
+	}
+	fmt.Printf("\nDRAM telemetry (measured window)\n")
+	printBanks("in-package", r.InPkgBankStats, r.InPkgBusBusy, r.InPkgChannels)
+	printBanks("off-package", r.OffPkgBankStats, r.OffPkgBusBusy, r.OffPkgChannels)
+}
+
+func histBars(rows []taglessdram.BucketRow) []textplot.HistBar {
+	out := make([]textplot.HistBar, len(rows))
+	for i, b := range rows {
+		out[i] = textplot.HistBar{Label: fmt.Sprintf("[%d,%d]", b.Lo, b.Hi), Count: b.Count}
+	}
+	return out
+}
+
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den) * 100
 }
 
 // printSparklines renders the captured epoch series as terminal-width
@@ -160,6 +245,8 @@ func printSparklines(r *taglessdram.Result) {
 		{"L3 hit rate", func(e taglessdram.Epoch) float64 { return e.L3HitRate }},
 		{"cTLB miss rate", func(e taglessdram.Epoch) float64 { return e.TLBMissRate }},
 		{"off-pkg bytes", func(e taglessdram.Epoch) float64 { return float64(e.OffPkgBytes) }},
+		{"L3 p99 lat", func(e taglessdram.Epoch) float64 { return e.L3LatP99 }},
+		{"bus util", func(e taglessdram.Epoch) float64 { return math.Max(e.InPkgBusUtil, e.OffPkgBusUtil) }},
 	}
 	if r.Design == taglessdram.Tagless {
 		series = append(series, struct {

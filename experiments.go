@@ -7,6 +7,7 @@ import (
 	"taglessdram/internal/amat"
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/stats"
 	"taglessdram/internal/sweep"
 	"taglessdram/internal/system"
@@ -484,6 +485,67 @@ func RunAMATCheck(o Options, workloads []string) ([]AMATRow, error) {
 		}
 		if row.SimCTLBLat > 0 {
 			row.CTLBErrorPC = (row.ModelCTLBLat - row.SimCTLBLat) / row.SimCTLBLat * 100
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// LatencyRow is one design's measured latency attribution for a
+// workload: tail quantiles of the per-reference L3 latency distribution
+// and the per-component stall breakdown in cycles per L3 access. The
+// component columns follow LatencyComponentNames() order and sum (with
+// the handler scope folded in) to AvgLat exactly — the conservation
+// invariant checked by CheckLatencyAttribution.
+type LatencyRow struct {
+	Workload   string
+	Design     Design
+	AvgLat     float64 // measured stall cycles per L3 access
+	P50        float64
+	P99        float64
+	P999       float64
+	Max        uint64
+	Components []float64 // cycles/access, LatencyComponentNames() order
+}
+
+// RunLatencyBreakdown measures the per-component latency attribution of
+// every registered organization on one workload (the observability
+// companion to Figure 8: not just *that* the tagless cache is faster,
+// but *where* the cycles go).
+func RunLatencyBreakdown(o Options, workload string) ([]LatencyRow, error) {
+	if workload == "" {
+		workload = "sphinx3"
+	}
+	designs := Organizations()
+	jobs := make([]Job, 0, len(designs))
+	for _, d := range designs {
+		jobs = append(jobs, Job{Design: d, Workload: workload, Options: o})
+	}
+	res, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LatencyRow, 0, len(designs))
+	for i, d := range designs {
+		r := res[i]
+		if err := CheckLatencyAttribution(r); err != nil {
+			return nil, err
+		}
+		s := &r.Latency
+		row := LatencyRow{
+			Workload:   workload,
+			Design:     d,
+			AvgLat:     r.AvgL3Latency,
+			P50:        s.L3Lat.Quantile(50),
+			P99:        s.L3Lat.Quantile(99),
+			P999:       s.L3Lat.Quantile(99.9),
+			Max:        s.L3Lat.Max(),
+			Components: make([]float64, lat.NumComponents),
+		}
+		if r.L3Accesses > 0 {
+			for c := lat.Component(0); c < lat.NumComponents; c++ {
+				row.Components[c] = float64(s.L3.Cycles[c]+s.Handler.Cycles[c]) / float64(r.L3Accesses)
+			}
 		}
 		out = append(out, row)
 	}

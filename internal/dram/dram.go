@@ -30,12 +30,24 @@ func (k AccessKind) String() string {
 	return "write"
 }
 
-// Result describes one serviced access.
+// Result describes one serviced access. The accounting identity
+// QueueWait + Service == Done - at (the caller's arrival time) holds
+// exactly by construction for every access; the cycle-accounting layer
+// relies on it for its conservation invariant.
 type Result struct {
 	Start    sim.Tick // when the bank began servicing the request
 	Done     sim.Tick // when the last data beat transferred
 	RowHit   bool     // the open row matched
 	Activate bool     // an ACT command was issued
+
+	// QueueWait is time spent waiting on shared resources: the bank
+	// becoming free (including refresh blackouts) and data-bus
+	// contention. Service is device work: command timing (ACT/PRE/CAS,
+	// FAW/tRAS constraints) plus the data transfer. For multi-row
+	// transfers QueueWait is the first chunk's wait and Service absorbs
+	// the pipelined remainder, preserving the identity.
+	QueueWait sim.Tick
+	Service   sim.Tick
 }
 
 // Latency returns Done minus the request arrival time given by the caller.
@@ -50,6 +62,10 @@ type bank struct {
 	res     sim.Resource
 	openRow int64    // -1 when no row is open
 	actAt   sim.Tick // activation time of the open row, for tRAS
+
+	// Per-bank telemetry over the measured window.
+	hits   uint64 // row-buffer hits
+	confls uint64 // row conflicts (PRE then ACT)
 }
 
 // Device is one DRAM device (a set of channels, ranks and banks).
@@ -237,6 +253,9 @@ func (d *Device) Access(at sim.Tick, addr uint64, bytes int, kind AccessKind) Re
 		a += uint64(chunk)
 		remaining -= chunk
 	}
+	// Re-derive the split so QueueWait + Service == Done - at stays exact
+	// when later chunks extended Done past the first chunk's completion.
+	out.Service = out.Done - at - out.QueueWait
 	return out
 }
 
@@ -258,6 +277,7 @@ func (d *Device) accessRow(at sim.Tick, addr uint64, bytes int, kind AccessKind)
 	case b.openRow == row:
 		// Row-buffer hit: column access only.
 		d.RowHits++
+		b.hits++
 		res.RowHit = true
 		dataReady = start + d.tAA
 	case b.openRow < 0:
@@ -270,6 +290,7 @@ func (d *Device) accessRow(at sim.Tick, addr uint64, bytes int, kind AccessKind)
 	default:
 		// Row conflict: precharge (respecting tRAS), activate, access.
 		d.RowConfls++
+		b.confls++
 		d.Activates++
 		res.Activate = true
 		preAt := sim.MaxTick(start, b.actAt+d.tRAS)
@@ -286,6 +307,11 @@ func (d *Device) accessRow(at sim.Tick, addr uint64, bytes int, kind AccessKind)
 
 	res.Start = start
 	res.Done = done
+	// Queue wait is everything spent waiting on shared state (bank free,
+	// bus contention); service is the rest, so the two sum to done - at
+	// exactly.
+	res.QueueWait = (start - at) + (busStart - dataReady)
+	res.Service = (dataReady - start) + xfer
 	b.res.Occupy(start, done)
 
 	bits := uint64(bytes) * 8
@@ -342,7 +368,54 @@ func (d *Device) ResetStats() {
 	}
 	for i := range d.banks {
 		d.banks[i].res.Busy = 0
+		d.banks[i].hits = 0
+		d.banks[i].confls = 0
 	}
+}
+
+// BankStat is one bank's measured-window activity: row outcomes and
+// occupancy, the per-bank telemetry behind the dram.bank.* metrics.
+type BankStat struct {
+	Hits      uint64 // row-buffer hits
+	Confls    uint64 // row conflicts
+	BusyTicks uint64 // cycles the bank was servicing requests
+}
+
+// BankStats snapshots every bank's window counters. Cold path: allocates
+// the slice.
+func (d *Device) BankStats() []BankStat {
+	out := make([]BankStat, len(d.banks))
+	for i := range d.banks {
+		out[i] = BankStat{
+			Hits:      d.banks[i].hits,
+			Confls:    d.banks[i].confls,
+			BusyTicks: uint64(d.banks[i].res.Busy),
+		}
+	}
+	return out
+}
+
+// BusBusyTicks returns the data-bus busy cycles summed over channels
+// since the last ResetStats. Allocation-free: safe for epoch snapshots.
+func (d *Device) BusBusyTicks() uint64 {
+	var sum uint64
+	for i := range d.buses {
+		sum += uint64(d.buses[i].Busy)
+	}
+	return sum
+}
+
+// Channels returns the number of data-bus channels.
+func (d *Device) Channels() int { return d.cfg.Channels }
+
+// ChannelBusBusy snapshots each channel's data-bus busy cycles. Cold
+// path: allocates the slice.
+func (d *Device) ChannelBusBusy() []uint64 {
+	out := make([]uint64, len(d.buses))
+	for i := range d.buses {
+		out[i] = uint64(d.buses[i].Busy)
+	}
+	return out
 }
 
 // AccountTraffic adds energy and byte accounting for traffic whose timing

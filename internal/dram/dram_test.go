@@ -306,3 +306,105 @@ func TestAccessClassificationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the accounting split is conserved for every access —
+// QueueWait + Service == Done - at exactly, with non-negative parts —
+// including multi-row transfers and contended banks/buses.
+func TestQueueServiceSplitProperty(t *testing.T) {
+	f := func(deltas []uint16, addrs []uint32, sizes []uint8) bool {
+		d := New("p", config.Default().InPkg, 3.0)
+		n := len(deltas)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		at := sim.Tick(0)
+		for i := 0; i < n; i++ {
+			at += sim.Tick(deltas[i])
+			bytes := 64 * (1 + int(sizes[i]%80)) // up to 5120B: spans rows
+			r := d.Access(at, uint64(addrs[i]), bytes, Read)
+			if r.QueueWait+r.Service != r.Done-at {
+				return false
+			}
+			if r.QueueWait > r.Done || r.Service > r.Done {
+				return false // underflow guard (Tick is unsigned)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueWaitOnBusyBank(t *testing.T) {
+	d := inPkg(t)
+	first := d.Access(0, 0, 64, Read)
+	if first.QueueWait != 0 {
+		t.Fatalf("idle access queued %d cycles", first.QueueWait)
+	}
+	// Same bank, arriving at cycle 1: must wait for the bank to free.
+	second := d.Access(1, 64, 64, Read)
+	if second.QueueWait == 0 {
+		t.Fatalf("contended access reports zero queue wait: %+v", second)
+	}
+	if second.QueueWait+second.Service != second.Done-1 {
+		t.Fatalf("split not conserved: %+v", second)
+	}
+}
+
+func TestPerBankTelemetryAndBusTicks(t *testing.T) {
+	d := inPkg(t)
+	d.Access(0, 0, 64, Read)      // closed-bank activate on bank 0
+	d.Access(1000, 0, 64, Read)   // row hit on bank 0
+	rowBytes := uint64(d.cfg.RowBytes)
+	nb := uint64(len(d.banks))
+	d.Access(2000, rowBytes*nb, 64, Read) // same bank, different row: conflict
+
+	stats := d.BankStats()
+	if len(stats) != d.RowBuffers() {
+		t.Fatalf("BankStats len = %d, want %d", len(stats), d.RowBuffers())
+	}
+	var hits, confls, busy uint64
+	for _, b := range stats {
+		hits += b.Hits
+		confls += b.Confls
+		busy += b.BusyTicks
+	}
+	if hits != d.RowHits || confls != d.RowConfls {
+		t.Fatalf("per-bank sums (%d hits, %d confls) != device (%d, %d)",
+			hits, confls, d.RowHits, d.RowConfls)
+	}
+	if stats[0].Hits != 1 || stats[0].Confls != 1 {
+		t.Fatalf("bank 0 stats = %+v", stats[0])
+	}
+	if busy == 0 {
+		t.Fatal("no bank occupancy recorded")
+	}
+	if d.BusBusyTicks() == 0 {
+		t.Fatal("no bus busy ticks recorded")
+	}
+	per := d.ChannelBusBusy()
+	if len(per) != d.Channels() {
+		t.Fatalf("ChannelBusBusy len = %d, want %d", len(per), d.Channels())
+	}
+	var sum uint64
+	for _, b := range per {
+		sum += b
+	}
+	if sum != d.BusBusyTicks() {
+		t.Fatalf("channel sum %d != BusBusyTicks %d", sum, d.BusBusyTicks())
+	}
+
+	d.ResetStats()
+	for _, b := range d.BankStats() {
+		if b.Hits != 0 || b.Confls != 0 || b.BusyTicks != 0 {
+			t.Fatalf("ResetStats kept bank telemetry: %+v", b)
+		}
+	}
+	if d.BusBusyTicks() != 0 {
+		t.Fatal("ResetStats kept bus busy ticks")
+	}
+}

@@ -12,7 +12,10 @@
 // nil sampler costs the hot path a single pointer check.
 package obs
 
-import "taglessdram/internal/core"
+import (
+	"taglessdram/internal/core"
+	"taglessdram/internal/lat"
+)
 
 // DefaultCapacity is the epoch ring size when the caller does not choose
 // one: enough for a full default run (3M measured instructions at a
@@ -47,6 +50,16 @@ type Cumulative struct {
 	InPkgBytes, OffPkgBytes          uint64
 	InPkgRowAccesses, InPkgRowHits   uint64
 	OffPkgRowAccesses, OffPkgRowHits uint64
+
+	// L3LatBuckets is the L3 latency histogram's cumulative bucket counts
+	// (value array — snapshotting stays allocation-free); the sampler
+	// diffs consecutive snapshots to compute per-epoch tail quantiles.
+	L3LatBuckets [lat.NumBuckets]uint64
+	// InPkgBusBusy/OffPkgBusBusy are cumulative data-bus busy ticks summed
+	// over each device's channels; the channel counts turn the deltas into
+	// per-epoch utilizations.
+	InPkgBusBusy, OffPkgBusBusy   uint64
+	InPkgChannels, OffPkgChannels int
 
 	Ctrl   core.Stats // controller counters (tagless design; zero otherwise)
 	Gauges Gauges
@@ -83,6 +96,15 @@ type Epoch struct {
 	InPkgRowHitRate  float64 `json:"inpkg_row_hit_rate"`
 	OffPkgRowHitRate float64 `json:"offpkg_row_hit_rate"`
 
+	// L3LatP99 is the epoch's 99th-percentile L3 access latency in cycles
+	// (from the epoch's own histogram-bucket deltas, not the cumulative
+	// distribution).
+	L3LatP99 float64 `json:"l3_lat_p99"`
+	// InPkgBusUtil/OffPkgBusUtil are the epoch's data-bus utilizations:
+	// busy-tick delta over epoch cycles, averaged across channels.
+	InPkgBusUtil  float64 `json:"inpkg_bus_util"`
+	OffPkgBusUtil float64 `json:"offpkg_bus_util"`
+
 	// Ctrl carries the tagless controller's per-epoch counter deltas
 	// (zero for other designs).
 	Ctrl core.Stats `json:"ctrl"`
@@ -103,6 +125,10 @@ type Sampler struct {
 	captured int // epochs ever captured
 
 	prev Cumulative
+
+	// scratch holds the current epoch's histogram-bucket deltas during
+	// Record (fixed array — no per-epoch allocation).
+	scratch [lat.NumBuckets]uint64
 }
 
 // NewSampler returns a sampler that closes an epoch every epochRefs
@@ -167,6 +193,12 @@ func (s *Sampler) Record(c Cumulative) {
 	e.OffPkgBytes = c.OffPkgBytes - p.OffPkgBytes
 	e.InPkgRowHitRate = ratio(c.InPkgRowHits-p.InPkgRowHits, c.InPkgRowAccesses-p.InPkgRowAccesses)
 	e.OffPkgRowHitRate = ratio(c.OffPkgRowHits-p.OffPkgRowHits, c.OffPkgRowAccesses-p.OffPkgRowAccesses)
+	for i := range s.scratch {
+		s.scratch[i] = c.L3LatBuckets[i] - p.L3LatBuckets[i]
+	}
+	e.L3LatP99 = lat.QuantileOf(&s.scratch, 99)
+	e.InPkgBusUtil = busUtil(c.InPkgBusBusy-p.InPkgBusBusy, e.Cycles, c.InPkgChannels)
+	e.OffPkgBusUtil = busUtil(c.OffPkgBusBusy-p.OffPkgBusBusy, e.Cycles, c.OffPkgChannels)
 	e.Ctrl = c.Ctrl.Sub(p.Ctrl)
 
 	s.head++
@@ -210,4 +242,18 @@ func ratio(num, den uint64) float64 {
 		return 0
 	}
 	return float64(num) / float64(den)
+}
+
+// busUtil converts a busy-tick delta into an average per-channel
+// utilization over the epoch, clamped to 1 (an epoch boundary can land
+// mid-transfer, crediting busy ticks slightly past the epoch's cycles).
+func busUtil(busy, cycles uint64, channels int) float64 {
+	if cycles == 0 || channels <= 0 {
+		return 0
+	}
+	u := float64(busy) / (float64(cycles) * float64(channels))
+	if u > 1 {
+		return 1
+	}
+	return u
 }

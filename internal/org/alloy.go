@@ -4,6 +4,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
 	"taglessdram/internal/dramcache"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/sim"
 )
 
@@ -29,7 +30,9 @@ func (o *Alloy) Access(r Request) {
 	tad := o.cache.TADAddr(slot)
 	if hit {
 		issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
-			return o.p.InPkg.Access(at, tad, dramcache.TADBytes, kind).Done
+			res := o.p.InPkg.Access(at, tad, dramcache.TADBytes, kind)
+			charge(o.p.Lat, lat.InPkgQueue, lat.InPkgService, res)
+			return res.Done
 		})
 		return
 	}
@@ -37,10 +40,16 @@ func (o *Alloy) Access(r Request) {
 	issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
 		res := o.p.InPkg.Access(at, tad, dramcache.TADBytes, dram.Read) // tag probe
 		off := o.p.OffPkg.Access(res.Done, r.Key, config.BlockSize, dram.Read)
+		// Stall attribution: TAD probe (incl. its queueing) plus the
+		// off-package fetch's queue/service span the full off.Done-at
+		// window.
+		o.p.Lat.Add(lat.VictimProbe, res.Done-at)
+		charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, off)
 		// Fill and write-back stream in the background.
 		o.p.InPkg.Access(off.Done, tad, dramcache.TADBytes, dram.Write)
 		if hasVictim && victim.Dirty {
-			o.p.OffPkg.Access(off.Done, victim.BlockAddr, config.BlockSize, dram.Write)
+			wb := o.p.OffPkg.Access(off.Done, victim.BlockAddr, config.BlockSize, dram.Write)
+			o.p.Lat.AddBackground(lat.Writeback, wb.Done-off.Done)
 		}
 		return off.Done
 	})
@@ -50,11 +59,13 @@ func (o *Alloy) Access(r Request) {
 // (MarkDirty confirms residence and returns the slot — no extra probe,
 // so Lookups/Hits stay untouched), off-package otherwise.
 func (o *Alloy) Writeback(at sim.Tick, key uint64) {
+	var res dram.Result
 	if slot, ok := o.cache.MarkDirty(key); ok {
-		o.p.InPkg.Access(at, o.cache.TADAddr(slot), config.BlockSize, dram.Write)
+		res = o.p.InPkg.Access(at, o.cache.TADAddr(slot), config.BlockSize, dram.Write)
 	} else {
-		o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+		res = o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
 	}
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 }
 
 // ResetStats clears the block-cache counters.

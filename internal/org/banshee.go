@@ -5,6 +5,7 @@ import (
 
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/sim"
 )
 
@@ -128,7 +129,9 @@ func (o *Banshee) Access(r Request) {
 		}
 		slot := slotIndex(si, w)
 		issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
-			return o.p.InPkg.Access(at, slot*config.PageSize+r.Offset, config.BlockSize, kind).Done
+			res := o.p.InPkg.Access(at, slot*config.PageSize+r.Offset, config.BlockSize, kind)
+			charge(o.p.Lat, lat.InPkgQueue, lat.InPkgService, res)
+			return res.Done
 		})
 		return
 	}
@@ -147,11 +150,16 @@ func (o *Banshee) Access(r Request) {
 			// Victim write-back happens in the background.
 			o.Writebacks++
 			rv := o.p.InPkg.Access(at, slot*config.PageSize, config.PageSize, dram.Read)
-			o.p.OffPkg.Access(rv.Done, victim.ppn*config.PageSize, config.PageSize, dram.Write)
+			wv := o.p.OffPkg.Access(rv.Done, victim.ppn*config.PageSize, config.PageSize, dram.Write)
+			o.p.Lat.AddBackground(lat.Writeback, wv.Done-at)
 		}
 		base := ppn * config.PageSize
 		blockOff := r.Offset &^ (config.BlockSize - 1)
 		crit := o.p.OffPkg.Access(at, base+blockOff, config.BlockSize, dram.Read)
+		// Stall attribution: the critical block's queue/service span the
+		// full crit.Done-at window; the rest-of-page stream and in-package
+		// fill write are bandwidth, not stall.
+		charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, crit)
 		o.p.OffPkg.Access(crit.Done, base, config.PageSize-config.BlockSize, dram.Read)
 		o.p.InPkg.Access(crit.Done, slot*config.PageSize, config.PageSize, dram.Write)
 		r.CPU.Serialize(crit.Done)
@@ -178,7 +186,9 @@ func (o *Banshee) Access(r Request) {
 		victim.count--
 	}
 	issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
-		return o.p.OffPkg.Access(at, r.Key, config.BlockSize, kind).Done
+		res := o.p.OffPkg.Access(at, r.Key, config.BlockSize, kind)
+		charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, res)
+		return res.Done
 	})
 }
 
@@ -190,10 +200,12 @@ func (o *Banshee) Writeback(at sim.Tick, key uint64) {
 	if w := lookupWay(set, ppn); w >= 0 {
 		set[w].dirty = true
 		slot := slotIndex(si, w)
-		o.p.InPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
+		res := o.p.InPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
+		o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 		return
 	}
-	o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+	res := o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 }
 
 // ResetStats clears counters, keeping cache contents and frequency state.

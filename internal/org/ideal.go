@@ -3,6 +3,7 @@ package org
 import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/sim"
 )
 
@@ -36,13 +37,16 @@ func (o *Ideal) addr(key uint64) uint64 {
 func (o *Ideal) Access(r Request) {
 	kind := kindOf(r.Write)
 	issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
-		return o.p.InPkg.Access(at, o.addr(r.Key), config.BlockSize, kind).Done
+		res := o.p.InPkg.Access(at, o.addr(r.Key), config.BlockSize, kind)
+		charge(o.p.Lat, lat.InPkgQueue, lat.InPkgService, res)
+		return res.Done
 	})
 }
 
 // Writeback sinks the dirty victim in-package.
 func (o *Ideal) Writeback(at sim.Tick, key uint64) {
-	o.p.InPkg.Access(at, o.addr(key), config.BlockSize, dram.Write)
+	res := o.p.InPkg.Access(at, o.addr(key), config.BlockSize, dram.Write)
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 }
 
 // ResetStats is a no-op: the design has no counters.

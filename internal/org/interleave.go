@@ -4,6 +4,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
 	"taglessdram/internal/dramcache"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/sim"
 )
 
@@ -37,8 +38,10 @@ func (o *Interleave) Access(r Request) {
 		var res dram.Result
 		if inPkg {
 			res = o.p.InPkg.Access(at, devPage*config.PageSize+r.Offset, config.BlockSize, kind)
+			charge(o.p.Lat, lat.InPkgQueue, lat.InPkgService, res)
 		} else {
 			res = o.p.OffPkg.Access(at, devPage*config.PageSize+r.Offset, config.BlockSize, kind)
+			charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, res)
 		}
 		return res.Done
 	})
@@ -48,11 +51,13 @@ func (o *Interleave) Access(r Request) {
 func (o *Interleave) Writeback(at sim.Tick, key uint64) {
 	devPage, inPkg := o.inter.Map(key / config.PageSize)
 	addr := devPage*config.PageSize + key%config.PageSize
+	var res dram.Result
 	if inPkg {
-		o.p.InPkg.Access(at, addr, config.BlockSize, dram.Write)
+		res = o.p.InPkg.Access(at, addr, config.BlockSize, dram.Write)
 	} else {
-		o.p.OffPkg.Access(at, addr, config.BlockSize, dram.Write)
+		res = o.p.OffPkg.Access(at, addr, config.BlockSize, dram.Write)
 	}
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 }
 
 // ResetStats clears the interleaver's routing counters.

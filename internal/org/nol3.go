@@ -3,6 +3,7 @@ package org
 import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/sim"
 )
 
@@ -22,13 +23,16 @@ type NoL3 struct {
 func (o *NoL3) Access(r Request) {
 	kind := kindOf(r.Write)
 	issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
-		return o.p.OffPkg.Access(at, r.Key, config.BlockSize, kind).Done
+		res := o.p.OffPkg.Access(at, r.Key, config.BlockSize, kind)
+		charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, res)
+		return res.Done
 	})
 }
 
 // Writeback sinks the dirty victim off-package.
 func (o *NoL3) Writeback(at sim.Tick, key uint64) {
-	o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+	res := o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 }
 
 // ResetStats is a no-op: the design has no counters.

@@ -22,6 +22,7 @@ import (
 	"taglessdram/internal/core"
 	"taglessdram/internal/cpu"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/obs"
 	"taglessdram/internal/sim"
 )
@@ -70,6 +71,22 @@ type Ports struct {
 	// Observe records one L3 access's device-side latency and hit/miss
 	// into the machine's measurement state.
 	Observe func(lat sim.Tick, hit bool)
+	// Lat receives per-reference latency attribution (queue/service
+	// split per device access, tag-probe and write-back charges). An
+	// organization must attribute every cycle of each access's critical
+	// path — the recorder enforces that the charges sum exactly to the
+	// latency passed to Observe. May be nil (Recorder methods are
+	// nil-safe); the machine always wires one.
+	Lat *lat.Recorder
+}
+
+// charge attributes one device access's critical-path cycles to its
+// queue-wait and service components. The dram.Result identity
+// (QueueWait + Service == Done - arrival) makes the pair conserve the
+// access's full latency.
+func charge(rec *lat.Recorder, q, s lat.Component, r dram.Result) {
+	rec.Add(q, r.QueueWait)
+	rec.Add(s, r.Service)
 }
 
 // Stats carries the design-specific counters an Organization contributes

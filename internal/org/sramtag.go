@@ -4,6 +4,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
 	"taglessdram/internal/dramcache"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/sim"
 )
 
@@ -31,7 +32,10 @@ func (o *SRAMTag) Access(r Request) {
 	tagCycles := sim.Tick(o.cache.TagLatency())
 	if slot, hit := o.cache.Lookup(r.Frame, r.Write); hit {
 		issue(r.CPU, o.p.Observe, r.Dep, true, func(at sim.Tick) sim.Tick {
-			return o.p.InPkg.Access(at+tagCycles, slot*config.PageSize+r.Offset, config.BlockSize, kind).Done
+			res := o.p.InPkg.Access(at+tagCycles, slot*config.PageSize+r.Offset, config.BlockSize, kind)
+			o.p.Lat.Add(lat.VictimProbe, tagCycles)
+			charge(o.p.Lat, lat.InPkgQueue, lat.InPkgService, res)
+			return res.Done
 		})
 		return
 	}
@@ -45,11 +49,18 @@ func (o *SRAMTag) Access(r Request) {
 	if hasVictim && victim.Dirty {
 		// Victim write-back happens in the background.
 		rv := o.p.InPkg.Access(fillStart, victim.Slot*config.PageSize, config.PageSize, dram.Read)
-		o.p.OffPkg.Access(rv.Done, victim.PPN*config.PageSize, config.PageSize, dram.Write)
+		wv := o.p.OffPkg.Access(rv.Done, victim.PPN*config.PageSize, config.PageSize, dram.Write)
+		o.p.Lat.AddBackground(lat.Writeback, wv.Done-fillStart)
 	}
 	base := r.Frame * config.PageSize
 	blockOff := r.Offset &^ (config.BlockSize - 1)
 	crit := o.p.OffPkg.Access(fillStart, base+blockOff, config.BlockSize, dram.Read)
+	// Stall attribution: tag probe + the critical block's queue/service
+	// span the full crit.Done-at window. The rest-of-page stream and the
+	// in-package fill write below are bandwidth, not stall, and stay
+	// unattributed.
+	o.p.Lat.Add(lat.VictimProbe, tagCycles)
+	charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, crit)
 	o.p.OffPkg.Access(crit.Done, base, config.PageSize-config.BlockSize, dram.Read)
 	o.p.InPkg.Access(crit.Done, slot*config.PageSize, config.PageSize, dram.Write)
 	r.CPU.Serialize(crit.Done)
@@ -60,12 +71,14 @@ func (o *SRAMTag) Access(r Request) {
 // off-package when the page is absent.
 func (o *SRAMTag) Writeback(at sim.Tick, key uint64) {
 	ppn := key / config.PageSize
+	var res dram.Result
 	if slot, ok := o.cache.Peek(ppn); ok {
 		o.cache.MarkDirty(ppn)
-		o.p.InPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
+		res = o.p.InPkg.Access(at, slot*config.PageSize+key%config.PageSize, config.BlockSize, dram.Write)
 	} else {
-		o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
+		res = o.p.OffPkg.Access(at, key, config.BlockSize, dram.Write)
 	}
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 }
 
 // ResetStats clears the page-cache counters.

@@ -6,6 +6,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/obs"
 	"taglessdram/internal/sim"
 )
@@ -33,6 +34,7 @@ func init() {
 			SynchronousEviction: p.Cfg.Tagless.SynchronousEviction,
 			CachedGIPT:          p.Cfg.Tagless.CachedGIPT,
 			SharedAliasTable:    p.Cfg.Tagless.SharedAliasTable,
+			Lat:                 p.Lat,
 		}, p.Mem, p.Kernel)
 		return o, nil
 	})
@@ -60,7 +62,9 @@ func (o *Tagless) Access(r Request) {
 	if r.NC {
 		// Non-cacheable page: off-package block access (Table 1).
 		issue(r.CPU, o.p.Observe, r.Dep, false, func(at sim.Tick) sim.Tick {
-			return o.p.OffPkg.Access(at, r.Key&^PABit, config.BlockSize, kind).Done
+			res := o.p.OffPkg.Access(at, r.Key&^PABit, config.BlockSize, kind)
+			charge(o.p.Lat, lat.OffPkgQueue, lat.OffPkgService, res)
+			return res.Done
 		})
 		return
 	}
@@ -73,7 +77,9 @@ func (o *Tagless) Access(r Request) {
 		at = r.CPU.ReserveMSHR()
 	}
 	o.ctrl.Touch(at, r.Key>>o.caShift, r.Write)
-	done := o.p.InPkg.Access(at, r.Key, config.BlockSize, kind).Done
+	res := o.p.InPkg.Access(at, r.Key, config.BlockSize, kind)
+	charge(o.p.Lat, lat.InPkgQueue, lat.InPkgService, res)
+	done := res.Done
 	if r.Dep {
 		r.CPU.Serialize(done)
 	} else {
@@ -86,10 +92,12 @@ func (o *Tagless) Access(r Request) {
 // off-package; CA-tagged lines land in the cache and mark its block dirty.
 func (o *Tagless) Writeback(at sim.Tick, key uint64) {
 	if key&PABit != 0 {
-		o.p.OffPkg.Access(at, key&^PABit, config.BlockSize, dram.Write)
+		res := o.p.OffPkg.Access(at, key&^PABit, config.BlockSize, dram.Write)
+		o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 		return
 	}
-	o.p.InPkg.Access(at, key, config.BlockSize, dram.Write)
+	res := o.p.InPkg.Access(at, key, config.BlockSize, dram.Write)
+	o.p.Lat.AddBackground(lat.Writeback, res.Done-at)
 	o.ctrl.Touch(at, key>>o.caShift, true)
 }
 

@@ -17,11 +17,31 @@ const DefaultTraceLimit = 100000
 // field directly, so the viewer's nanoseconds read as CPU cycles.
 type TraceEvent struct {
 	Name  string `json:"name"`
+	Cat   string `json:"cat"`
 	Phase string `json:"ph"`
 	TS    uint64 `json:"ts"`
 	PID   int    `json:"pid"`
 	TID   int    `json:"tid"`
 	Scope string `json:"s"`
+}
+
+// Trace event categories: every recorded event carries one as its
+// Chrome-trace "cat" field, so viewers can filter core wakeups from
+// controller activity from device traffic. The strings are part of the
+// trace schema — stable across releases.
+const (
+	// CatCore tags plain function callbacks (core wakeups, daemon steps).
+	CatCore = "core"
+	// CatHandler tags bound Handler events with no category of their own.
+	CatHandler = "handler"
+	// CatDRAM tags device-traffic completions (fills, evictions).
+	CatDRAM = "dram"
+)
+
+// Categorizer is optionally implemented by Handlers to choose the trace
+// category of their events; Handlers without it record as CatHandler.
+type Categorizer interface {
+	TraceCategory() string
 }
 
 // Tracer records a bounded window of kernel events for export in Chrome
@@ -35,10 +55,17 @@ type Tracer struct {
 	limit   int
 	events  []TraceEvent
 	dropped uint64
-	// names caches the display name per Handler so the hot hook does a
-	// map lookup instead of a reflective fmt call per event. Handlers
-	// are long-lived bound callbacks, so the cache stays small.
-	names map[Handler]string
+	// names caches the display name and category per Handler so the hot
+	// hook does a map lookup instead of a reflective fmt call (and an
+	// interface assertion) per event. Handlers are long-lived bound
+	// callbacks, so the cache stays small.
+	names map[Handler]nameCat
+}
+
+// nameCat is the cached per-Handler display name and trace category.
+type nameCat struct {
+	name string
+	cat  string
 }
 
 // NewTracer returns a tracer that records at most limit events
@@ -49,7 +76,7 @@ func NewTracer(limit int) *Tracer {
 	}
 	return &Tracer{
 		limit: limit,
-		names: make(map[Handler]string),
+		names: make(map[Handler]nameCat),
 	}
 }
 
@@ -60,17 +87,21 @@ func (t *Tracer) record(now Tick, e *Event) {
 		t.dropped++
 		return
 	}
-	name := "func"
+	name, cat := "func", CatCore
 	if e.h != nil {
-		n, ok := t.names[e.h]
+		nc, ok := t.names[e.h]
 		if !ok {
-			n = fmt.Sprintf("%T", e.h)
-			t.names[e.h] = n
+			nc = nameCat{name: fmt.Sprintf("%T", e.h), cat: CatHandler}
+			if c, hasCat := e.h.(Categorizer); hasCat {
+				nc.cat = c.TraceCategory()
+			}
+			t.names[e.h] = nc
 		}
-		name = n
+		name, cat = nc.name, nc.cat
 	}
 	t.events = append(t.events, TraceEvent{
 		Name:  name,
+		Cat:   cat,
 		Phase: "i",
 		TS:    uint64(now),
 		PID:   1,

@@ -36,6 +36,40 @@ func TestTracerRecordsEvents(t *testing.T) {
 	}
 }
 
+type catHandler struct{ testHandler }
+
+func (h *catHandler) TraceCategory() string { return CatDRAM }
+
+func TestTracerCategories(t *testing.T) {
+	// The category strings are part of the trace schema consumed by
+	// external viewers; they must never change.
+	if CatCore != "core" || CatHandler != "handler" || CatDRAM != "dram" {
+		t.Fatalf("category constants drifted: %q %q %q", CatCore, CatHandler, CatDRAM)
+	}
+
+	k := NewKernel()
+	tr := NewTracer(100)
+	k.SetTracer(tr)
+	k.Schedule(1, &testHandler{}, 0, 0, false, nil) // no Categorizer: handler default
+	k.At(2, func(Tick) {})                          // closure: core
+	k.Schedule(3, &catHandler{}, 0, 0, false, nil)  // Categorizer: its own category
+	k.Run(0)
+
+	es := tr.Events()
+	if len(es) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(es))
+	}
+	if es[0].Cat != CatHandler {
+		t.Errorf("plain handler cat = %q, want %q", es[0].Cat, CatHandler)
+	}
+	if es[1].Cat != CatCore {
+		t.Errorf("closure cat = %q, want %q", es[1].Cat, CatCore)
+	}
+	if es[2].Cat != CatDRAM {
+		t.Errorf("Categorizer cat = %q, want %q", es[2].Cat, CatDRAM)
+	}
+}
+
 func TestTracerWindowBound(t *testing.T) {
 	k := NewKernel()
 	tr := NewTracer(3)

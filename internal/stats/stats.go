@@ -199,6 +199,56 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return float64(len(h.buckets)) * h.BucketWidth
 }
 
+// Quantiles returns the Percentile estimate for each p in ps using a
+// single pass over the buckets, so one call serves p50/p90/p99/p999.
+// Each element matches Percentile(p) exactly, including the NaN
+// convention for p outside (0, 100] and the upper-bound convention for
+// overflow-dominated histograms. ps need not be sorted.
+func (h *Histogram) Quantiles(ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(ps) == 0 {
+		return out
+	}
+	// Order the valid requests by target rank; invalid ones resolve to
+	// NaN immediately and empty histograms to 0.
+	type req struct {
+		idx    int
+		target uint64
+	}
+	reqs := make([]req, 0, len(ps))
+	for i, p := range ps {
+		if math.IsNaN(p) || p <= 0 || p > 100 {
+			out[i] = math.NaN()
+			continue
+		}
+		if h.total == 0 {
+			continue // out[i] stays 0, matching Percentile
+		}
+		target := uint64(math.Ceil(p / 100 * float64(h.total)))
+		if target == 0 {
+			target = 1
+		}
+		reqs = append(reqs, req{idx: i, target: target})
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].target < reqs[j].target })
+	var cum uint64
+	next := 0
+	for i, c := range h.buckets {
+		cum += c
+		for next < len(reqs) && cum >= reqs[next].target {
+			out[reqs[next].idx] = (float64(i) + 0.5) * h.BucketWidth
+			next++
+		}
+		if next == len(reqs) {
+			return out
+		}
+	}
+	for ; next < len(reqs); next++ {
+		out[reqs[next].idx] = float64(len(h.buckets)) * h.BucketWidth
+	}
+	return out
+}
+
 // GeoMean returns the geometric mean of xs. Non-positive values are skipped,
 // matching the convention used for normalized performance numbers.
 func GeoMean(xs []float64) float64 {

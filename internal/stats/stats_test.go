@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -337,5 +338,46 @@ func TestRegistryZeroValue(t *testing.T) {
 	}
 	if names := r.Names(); len(names) != 1 || names[0] != "x" {
 		t.Fatalf("names = %v, want [x]", names)
+	}
+}
+
+// Quantiles must match repeated Percentile calls exactly, including the
+// NaN and overflow conventions, for arbitrary histograms and probe sets.
+func TestQuantilesMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	probes := []float64{0, -3, 0.1, 25, 50, 90, 99, 99.9, 100, 101, math.NaN()}
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram(1+rng.Intn(64), 0.5+rng.Float64()*10)
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Mix in-range, negative, overflow and non-finite samples.
+			switch rng.Intn(10) {
+			case 0:
+				h.Observe(math.Inf(1))
+			case 1:
+				h.Observe(-rng.Float64() * 100)
+			default:
+				h.Observe(rng.Float64() * float64(h.Buckets()+4) * h.BucketWidth)
+			}
+		}
+		// Shuffled, duplicated probes exercise the unsorted-input path.
+		ps := append([]float64(nil), probes...)
+		ps = append(ps, probes[rng.Intn(len(probes))])
+		rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+		got := h.Quantiles(ps)
+		if len(got) != len(ps) {
+			t.Fatalf("Quantiles returned %d values for %d probes", len(got), len(ps))
+		}
+		for i, p := range ps {
+			want := h.Percentile(p)
+			if math.IsNaN(want) != math.IsNaN(got[i]) || (!math.IsNaN(want) && got[i] != want) {
+				t.Fatalf("trial %d: Quantiles(%v)[%d] = %v, Percentile = %v", trial, p, i, got[i], want)
+			}
+		}
+	}
+	var empty Histogram
+	empty.BucketWidth = 1
+	if got := empty.Quantiles(nil); len(got) != 0 {
+		t.Fatalf("empty probe set: %v", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"taglessdram/internal/core"
 	"taglessdram/internal/cpu"
 	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/mmu"
 	"taglessdram/internal/obs"
 	"taglessdram/internal/org"
@@ -106,6 +107,7 @@ type Machine struct {
 
 	// Measurement state.
 	measuring  bool
+	rec        lat.Recorder  // per-component cycle attribution (measured window)
 	l3Lat      stats.Mean    // device-side latency of L3 accesses
 	handlerLat stats.Mean    // TLB-miss handler latency (amortized into Fig. 8)
 	kindLat    [4]stats.Mean // handler latency by core.MissKind (Table 1)
@@ -224,6 +226,7 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		Kernel:  m.kernel,
 		Mem:     (*memOps)(m),
 		Observe: m.observeL3,
+		Lat:     &m.rec,
 	})
 	if err != nil {
 		return nil, err
@@ -304,6 +307,11 @@ func (m *Machine) cumulative() obs.Cumulative {
 	c.OffPkgBytes = m.offPkg.BytesTransferred()
 	c.InPkgRowAccesses, c.InPkgRowHits = m.inPkg.Accesses, m.inPkg.RowHits
 	c.OffPkgRowAccesses, c.OffPkgRowHits = m.offPkg.Accesses, m.offPkg.RowHits
+	c.L3LatBuckets = m.rec.L3Counts()
+	c.InPkgBusBusy = m.inPkg.BusBusyTicks()
+	c.OffPkgBusBusy = m.offPkg.BusBusyTicks()
+	c.InPkgChannels = m.inPkg.Channels()
+	c.OffPkgChannels = m.offPkg.Channels()
 	var os org.Stats
 	m.org.Collect(&os)
 	c.Ctrl = os.Ctrl
@@ -385,6 +393,10 @@ func (m *memOps) FillPage(at sim.Tick, ppn, ca, offset uint64, pages int) sim.Ti
 	base := ppn * config.PageSize
 	blockOff := offset &^ (config.BlockSize - 1)
 	crit := m.offPkg.Access(at, base+blockOff, config.BlockSize, dram.Read)
+	// The critical block is the fill's stall contribution; the streaming
+	// remainder and the in-package write below are bandwidth only.
+	m.rec.Add(lat.OffPkgQueue, crit.QueueWait)
+	m.rec.Add(lat.OffPkgService, crit.Service)
 	if rest := bytes - config.BlockSize; rest > 0 {
 		// Remainder of the region streams behind the critical block.
 		m.offPkg.Access(crit.Done, base, rest, dram.Read)
@@ -408,7 +420,8 @@ func (m *memOps) EvictPage(at sim.Tick, ca, ppn uint64, pages int) sim.Tick {
 // accounted on the device but no bus queueing.
 func (m *memOps) GIPTUpdate(at sim.Tick) sim.Tick {
 	m.giptCursor++
-	lat := 2 * m.offPkg.ColdWriteLatency(config.BlockSize)
+	cost := 2 * m.offPkg.ColdWriteLatency(config.BlockSize)
+	m.rec.Add(lat.GIPTUpdate, cost)
 	m.offPkg.AccountTraffic(2*config.BlockSize, dram.Write)
-	return at + lat
+	return at + cost
 }

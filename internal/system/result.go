@@ -6,7 +6,9 @@ import (
 
 	"taglessdram/internal/config"
 	"taglessdram/internal/core"
+	"taglessdram/internal/dram"
 	"taglessdram/internal/energy"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/obs"
 	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
@@ -43,6 +45,23 @@ type Result struct {
 	OffPkgRowHitRate float64
 	InPkgBytes       uint64
 	OffPkgBytes      uint64
+
+	// Latency is the cycle-accounting summary of the measured window:
+	// per-component stall attribution for the L3-access and TLB-miss
+	// handler scopes (conservation-checked — see lat.Breakdown.Residue),
+	// background write-back attribution, and the latency histograms
+	// behind the tail metrics.
+	Latency lat.Summary
+	// InPkgBankStats/OffPkgBankStats are the per-bank row-hit/row-conflict
+	// counters and busy ticks of each device over the measured window.
+	InPkgBankStats  []dram.BankStat
+	OffPkgBankStats []dram.BankStat
+	// InPkgBusBusy/OffPkgBusBusy are data-bus busy ticks summed over each
+	// device's channels; with the channel counts they give utilizations.
+	InPkgBusBusy   uint64
+	OffPkgBusBusy  uint64
+	InPkgChannels  int
+	OffPkgChannels int
 
 	// Ctrl carries tagless-controller counters (zero for other designs).
 	Ctrl core.Stats
@@ -140,6 +159,13 @@ func (m *Machine) collect() *Result {
 	r.OffPkgRowHitRate = m.offPkg.RowHitRate()
 	r.InPkgBytes = m.inPkg.BytesTransferred()
 	r.OffPkgBytes = m.offPkg.BytesTransferred()
+	r.Latency = m.rec.Summary()
+	r.InPkgBankStats = m.inPkg.BankStats()
+	r.OffPkgBankStats = m.offPkg.BankStats()
+	r.InPkgBusBusy = m.inPkg.BusBusyTicks()
+	r.OffPkgBusBusy = m.offPkg.BusBusyTicks()
+	r.InPkgChannels = m.inPkg.Channels()
+	r.OffPkgChannels = m.offPkg.Channels()
 	r.References = m.refs
 	r.KernelEvents = m.kernel.Executed()
 	if m.sampler != nil {
@@ -176,7 +202,73 @@ func (r *Result) Metrics() *stats.Registry {
 	reg.Set("ctrl.evictions", float64(r.Ctrl.Evictions))
 	reg.Set("ctrl.writebacks", float64(r.Ctrl.Writebacks))
 	reg.Set("ctrl.alias_hits", float64(r.Ctrl.AliasHits))
+
+	// Cycle accounting: tail quantiles, stall totals, conservation
+	// residues, and the per-component split (L3 + handler scopes summed).
+	l3, h := &r.Latency.L3, &r.Latency.Handler
+	reg.Set("lat.l3.p50", r.Latency.L3Lat.Quantile(50))
+	reg.Set("lat.l3.p90", r.Latency.L3Lat.Quantile(90))
+	reg.Set("lat.l3.p99", r.Latency.L3Lat.Quantile(99))
+	reg.Set("lat.l3.p999", r.Latency.L3Lat.Quantile(99.9))
+	reg.Set("lat.l3.max", float64(r.Latency.L3Lat.Max()))
+	reg.Set("lat.l3.mean", r.Latency.L3Lat.Mean())
+	reg.Set("lat.l3.stall_cycles", float64(l3.Measured))
+	reg.Set("lat.l3.residue", float64(l3.Residue))
+	reg.Set("lat.handler.p99", r.Latency.HandlerLat.Quantile(99))
+	reg.Set("lat.handler.max", float64(r.Latency.HandlerLat.Max()))
+	reg.Set("lat.handler.stall_cycles", float64(h.Measured))
+	reg.Set("lat.handler.residue", float64(h.Residue))
+	reg.Set("lat.bg.cycles", float64(r.Latency.Bg.Measured))
+	for c := lat.Component(0); c < lat.NumComponents; c++ {
+		reg.Set("lat.comp."+c.String(), float64(l3.Cycles[c]+h.Cycles[c]))
+	}
+
+	// Per-bank DRAM telemetry, aggregated (the full per-bank tables are
+	// rendered by -lat-hist; the registry carries stable aggregates so the
+	// key set is independent of bank counts).
+	setBankMetrics(reg, "dram.bank.inpkg.", r.InPkgBankStats, r.Cycles)
+	setBankMetrics(reg, "dram.bank.offpkg.", r.OffPkgBankStats, r.Cycles)
+	reg.Set("dram.bus.inpkg.busy_frac", busFrac(r.InPkgBusBusy, r.InPkgChannels, r.Cycles))
+	reg.Set("dram.bus.offpkg.busy_frac", busFrac(r.OffPkgBusBusy, r.OffPkgChannels, r.Cycles))
 	return reg
+}
+
+// setBankMetrics registers one device's aggregated per-bank counters:
+// total row hits and conflicts across banks, and the busiest bank's
+// busy fraction of the measured window.
+func setBankMetrics(reg *stats.Registry, prefix string, banks []dram.BankStat, cycles uint64) {
+	var hits, confls, maxBusy uint64
+	for _, b := range banks {
+		hits += b.Hits
+		confls += b.Confls
+		if b.BusyTicks > maxBusy {
+			maxBusy = b.BusyTicks
+		}
+	}
+	frac := 0.0
+	if cycles > 0 {
+		frac = float64(maxBusy) / float64(cycles)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	reg.Set(prefix+"row_hits", float64(hits))
+	reg.Set(prefix+"row_confls", float64(confls))
+	reg.Set(prefix+"max_busy_frac", frac)
+}
+
+// busFrac is the average per-channel data-bus utilization over the
+// measured window, clamped to 1 (in-flight transfers can extend past the
+// window's closing cycle).
+func busFrac(busy uint64, channels int, cycles uint64) float64 {
+	if cycles == 0 || channels <= 0 {
+		return 0
+	}
+	f := float64(busy) / (float64(cycles) * float64(channels))
+	if f > 1 {
+		return 1
+	}
+	return f
 }
 
 // String renders a one-line summary.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"taglessdram/internal/config"
+	"taglessdram/internal/lat"
 	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/tlb"
@@ -214,6 +215,8 @@ func (m *Machine) beginMeasurement() {
 	m.tlbLookups.Reset()
 	m.tlbMisses.Reset()
 	m.ncAccesses.Reset()
+	m.rec.Reset()
+	m.rec.Enable()
 	m.org.ResetStats()
 	if m.sampler != nil {
 		// Epoch zero starts here: rebase the sampler's cumulative
@@ -308,6 +311,7 @@ func (m *Machine) step(cc *coreCtx) error {
 	if lvl == tlb.MissAll {
 		m.tlbMisses.Inc()
 		start := cc.cpu.Now()
+		m.rec.Begin()
 		var done sim.Tick
 		if m.ctrl != nil {
 			regionOff := a.VAddr & (config.PageSize - 1)
@@ -338,12 +342,14 @@ func (m *Machine) step(cc *coreCtx) error {
 			} else {
 				done = start + sim.Tick(m.cfg.PageWalkCycles)
 			}
+			m.rec.Add(lat.PTWalk, done-start)
 		}
 		cc.tlbs.Insert(lookupKey, entry)
 		cc.cpu.Block(done)
 		if m.measuring {
 			m.handlerLat.Observe(float64(done - start))
 		}
+		m.rec.CommitHandler(done - start)
 	}
 
 	// 2. On-die cache key: cache addresses for cached pages in the
@@ -388,6 +394,7 @@ func (m *Machine) l3Access(cc *coreCtx, entry tlb.Entry, key, offset uint64, wri
 	if m.measuring {
 		m.l3Accesses.Inc()
 	}
+	m.rec.Begin()
 	m.org.Access(org.Request{
 		CPU:    cc.cpu,
 		Key:    key,
@@ -400,14 +407,15 @@ func (m *Machine) l3Access(cc *coreCtx, entry tlb.Entry, key, offset uint64, wri
 }
 
 // observeL3 records one L3 access's device-side latency and hit/miss.
-func (m *Machine) observeL3(lat sim.Tick, hit bool) {
+func (m *Machine) observeL3(d sim.Tick, hit bool) {
 	if !m.measuring {
 		return
 	}
-	m.l3Lat.Observe(float64(lat))
+	m.l3Lat.Observe(float64(d))
 	if hit {
 		m.l3Hits.Inc()
 	}
+	m.rec.CommitL3(d)
 }
 
 // writebackBlock sinks a dirty on-die victim line into the level below,

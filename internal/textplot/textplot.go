@@ -161,6 +161,56 @@ func Sparkline(xs []float64, width int) string {
 	return sb.String()
 }
 
+// HistBar is one labeled histogram bucket.
+type HistBar struct {
+	Label string
+	Count uint64
+}
+
+// Histogram renders labeled bucket counts as a horizontal bar chart —
+// count bars scaled to the largest bucket, with raw counts on the
+// right. width is the maximum bar width in characters (default 40).
+func Histogram(title string, bars []HistBar, width int) string {
+	if len(bars) == 0 {
+		return title + "\n(no samples)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var maxCount uint64
+	labelW := 0
+	for _, b := range bars {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		cells := float64(b.Count) / float64(maxCount) * float64(width)
+		full := int(cells)
+		bar := strings.Repeat("█", full)
+		if frac := cells - float64(full); frac > 0.06 && full < width {
+			idx := int(frac * 8)
+			if idx > 7 {
+				idx = 7
+			}
+			bar += string([]rune(blocks)[idx])
+		}
+		fmt.Fprintf(&sb, "%-*s %-*s %d\n", labelW, b.Label, width, bar, b.Count)
+	}
+	return sb.String()
+}
+
 // GroupedChart renders one chart per group key, preserving group order.
 type GroupedChart struct {
 	Title  string

@@ -143,6 +143,39 @@ func TestSparklineEdgeCases(t *testing.T) {
 	}
 }
 
+func TestHistogramBasics(t *testing.T) {
+	out := Histogram("L3 latency", []HistBar{
+		{"[16,31]", 10},
+		{"[32,63]", 40},
+		{"[64,127]", 5},
+	}, 20)
+	if !strings.Contains(out, "L3 latency") {
+		t.Fatal("title missing")
+	}
+	for _, want := range []string{"[16,31]", "[32,63]", "[64,127]", "10", "40", "5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// The largest bucket must render the longest bar.
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") ||
+		strings.Count(lines[2], "█") <= strings.Count(lines[3], "█") {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	if out := Histogram("h", nil, 10); !strings.Contains(out, "no samples") {
+		t.Fatalf("empty histogram = %q", out)
+	}
+	// All-zero counts must not divide by zero.
+	_ = Histogram("h", []HistBar{{"a", 0}}, 10)
+}
+
 // Property: rendering never panics and every label/line appears.
 func TestRenderTotalProperty(t *testing.T) {
 	f := func(vals []float64, width uint8) bool {

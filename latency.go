@@ -1,0 +1,134 @@
+package taglessdram
+
+import (
+	"fmt"
+	"math"
+
+	"taglessdram/internal/amat"
+	"taglessdram/internal/dram"
+	"taglessdram/internal/lat"
+)
+
+// LatencySummary re-exports the cycle-accounting summary carried on
+// Result.Latency: per-component stall attribution for the L3-access and
+// TLB-miss-handler scopes, background write-back attribution, and the
+// latency histograms behind the tail metrics.
+type LatencySummary = lat.Summary
+
+// LatencyBreakdown re-exports one scope's attributed-cycle accumulator.
+type LatencyBreakdown = lat.Breakdown
+
+// LatencyHist re-exports the log2-bucketed latency histogram.
+type LatencyHist = lat.Hist
+
+// BucketRow re-exports one non-empty histogram bucket (LatencyHist.Rows).
+type BucketRow = lat.BucketRow
+
+// BankStat re-exports one DRAM bank's measured-window telemetry, carried
+// on Result.InPkgBankStats and Result.OffPkgBankStats.
+type BankStat = dram.BankStat
+
+// LatencyComponentNames returns the stable metric-key names of the
+// attribution components in enum order, indexing the Cycles arrays of a
+// LatencyBreakdown.
+func LatencyComponentNames() []string {
+	out := make([]string, lat.NumComponents)
+	for c := lat.Component(0); c < lat.NumComponents; c++ {
+		out[c] = c.String()
+	}
+	return out
+}
+
+// CheckLatencyAttribution verifies the cycle-accounting invariants of a
+// run: every committed scope's attributed cycles summed exactly to its
+// measured stall cycles (zero residue), every L3 access and TLB miss was
+// committed, and the two scopes' measured totals reproduce the run's
+// AvgL3Latency. A non-nil error means the attribution in some
+// organization or handler path dropped or double-counted cycles.
+func CheckLatencyAttribution(r *Result) error {
+	s := &r.Latency
+	if s.L3.Residue != 0 {
+		return fmt.Errorf("taglessdram: L3 attribution residue %d cycles over %d commits", s.L3.Residue, s.L3.Commits)
+	}
+	if s.Handler.Residue != 0 {
+		return fmt.Errorf("taglessdram: handler attribution residue %d cycles over %d commits", s.Handler.Residue, s.Handler.Commits)
+	}
+	if s.L3.Commits != r.L3Accesses {
+		return fmt.Errorf("taglessdram: %d L3 commits for %d L3 accesses", s.L3.Commits, r.L3Accesses)
+	}
+	if s.Handler.Commits != r.TLBMisses {
+		return fmt.Errorf("taglessdram: %d handler commits for %d TLB misses", s.Handler.Commits, r.TLBMisses)
+	}
+	if r.L3Accesses > 0 {
+		got := float64(s.L3.Measured+s.Handler.Measured) / float64(r.L3Accesses)
+		if relErr(got, r.AvgL3Latency) > 1e-9 {
+			return fmt.Errorf("taglessdram: attributed stall %.4f cycles/access, AvgL3Latency %.4f", got, r.AvgL3Latency)
+		}
+	}
+	return nil
+}
+
+// CheckLatencyModel cross-checks the measured attribution against the
+// paper's analytic model: the component means reconstructed from the
+// breakdown are fed through the Figure 8 closed forms (Equations 1–5)
+// and the result must match the run's measured AvgL3Latency within the
+// relative tolerance tol. Only the tagless and SRAM-tag designs have
+// closed forms; other designs return nil.
+func CheckLatencyModel(r *Result, tol float64) error {
+	if r.L3Accesses == 0 || r.TLBLookups == 0 {
+		return nil
+	}
+	s := &r.Latency
+	var model float64
+	switch r.Design {
+	case Tagless:
+		if r.Ctrl.Walks == 0 {
+			return nil
+		}
+		in := amat.Inputs{
+			MissRateTLB: r.TLBMissRate,
+			MissRateL12: float64(r.L3Accesses) / float64(r.TLBLookups),
+			BlockInPkg:  float64(s.L3.Measured) / float64(r.L3Accesses),
+			// Equation 5's inputs, reconstructed from the handler
+			// breakdown's per-event means.
+			MissRateVictim: float64(r.Ctrl.ColdFills) / float64(r.Ctrl.Walks),
+			MissPenaltyTLB: float64(s.Handler.Cycles[lat.PTWalk]) / float64(r.Ctrl.Walks),
+		}
+		if r.Ctrl.ColdFills > 0 {
+			fills := float64(r.Ctrl.ColdFills)
+			in.GIPTAccess = float64(s.Handler.Cycles[lat.GIPTUpdate]) / fills
+			in.PageOffPkg = float64(s.Handler.Cycles[lat.OffPkgQueue]+s.Handler.Cycles[lat.OffPkgService]) / fills
+		}
+		model = amat.AvgL3LatencyTagless(in)
+	case SRAMTag:
+		misses := r.L3Accesses - r.L3Hits
+		in := amat.Inputs{
+			MissRateTLB:    r.TLBMissRate,
+			MissRateL12:    float64(r.L3Accesses) / float64(r.TLBLookups),
+			MissRateL3:     float64(misses) / float64(r.L3Accesses),
+			TagAccess:      float64(s.L3.Cycles[lat.VictimProbe]) / float64(r.L3Accesses),
+			BlockInPkg:     float64(s.L3.Cycles[lat.InPkgQueue]+s.L3.Cycles[lat.InPkgService]) / float64(r.L3Accesses),
+			MissPenaltyTLB: s.HandlerLat.Mean(),
+		}
+		if misses > 0 {
+			in.PageOffPkg = float64(s.L3.Cycles[lat.OffPkgQueue]+s.L3.Cycles[lat.OffPkgService]) / float64(misses)
+		}
+		model = amat.AvgL3LatencySRAMFig8(in)
+	default:
+		return nil
+	}
+	if e := relErr(model, r.AvgL3Latency); e > tol {
+		return fmt.Errorf("taglessdram: %v analytic model %.3f vs measured %.3f cycles/access (%.2f%% > %.2f%% tolerance)",
+			r.Design, model, r.AvgL3Latency, e*100, tol*100)
+	}
+	return nil
+}
+
+// relErr is |a-b| relative to max(|a|,|b|), 0 when both are zero.
+func relErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
