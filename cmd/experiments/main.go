@@ -34,6 +34,7 @@ func main() {
 
 		metrics = flag.String("metrics-json", "", "append every run's metric registry and epoch series as JSON lines to this file (byte-identical at any -j)")
 		epoch   = flag.Uint64("epoch-refs", 0, "epoch length in measured references for time-series sampling (0 = off)")
+		prewarm = flag.Bool("prewarm", false, "share warm-state checkpoints across figures: each (workload, config, warm-up) warms up once and later runs restore it (results use the checkpointed Warmup/Measure path, so they differ slightly from the default)")
 	)
 	flag.BoolVar(&plotBars, "plot", false, "render normalized-IPC bar charts under each figure")
 	pf := prof.Register(flag.CommandLine)
@@ -66,6 +67,9 @@ func main() {
 		o.ExtraDesigns = []taglessdram.Design{taglessdram.AlloyBlock, taglessdram.Banshee}
 	}
 	o.EpochRefs = *epoch
+	if *prewarm {
+		o.Checkpoints = taglessdram.NewCheckpointStore()
+	}
 	if *metrics != "" {
 		f, err := os.Create(*metrics)
 		if err != nil {

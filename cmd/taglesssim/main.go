@@ -43,6 +43,12 @@ func main() {
 		selfchk  = flag.Bool("selfcheck", false, "verify cycle-accounting conservation and (cTLB/SRAM) the Equations 1-5 closed forms, exit nonzero on failure")
 		traceOut = flag.String("trace-events", "", "write a Chrome trace_event JSON (chrome://tracing) of the first kernel events to this file")
 		traceMax = flag.Int("trace-max", 0, "trace window size in events (0 = default)")
+
+		sampleWindow = flag.Uint64("sample-window", 0, "SMARTS sampling: cycle-accurate window length in trace references (0 = full cycle-accurate run)")
+		samplePeriod = flag.Uint64("sample-period", 0, "SMARTS sampling: references per period; the period minus the window fast-forwards functionally")
+		sampleWarm   = flag.Uint64("sample-warm", 0, "SMARTS sampling: detailed-warming references before each window (accurate but unmeasured)")
+		ckptSave     = flag.String("checkpoint-save", "", "write the post-warmup machine state to this file before measuring")
+		ckptLoad     = flag.String("checkpoint-load", "", "restore post-warmup state from this file instead of warming up (config and workload must match)")
 	)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -87,6 +93,11 @@ func main() {
 	}
 	o.EpochRefs = *epoch
 	o.TraceEventLimit = *traceMax
+	if *sampleWindow > 0 || *samplePeriod > 0 {
+		o.Sample = &taglessdram.SampleSpec{WindowRefs: *sampleWindow, PeriodRefs: *samplePeriod, WarmRefs: *sampleWarm}
+	}
+	o.CheckpointSave = *ckptSave
+	o.CheckpointLoad = *ckptLoad
 	var traceFile *os.File
 	if *traceOut != "" {
 		traceFile, err = os.Create(*traceOut)
@@ -135,6 +146,10 @@ func main() {
 	fmt.Printf("traffic:         in-package %d B, off-package %d B\n", r.InPkgBytes, r.OffPkgBytes)
 	fmt.Printf("energy:          %s\n", r.Energy)
 	fmt.Printf("EDP:             %.4g J*s\n", r.EDPJs)
+	if s := r.Sampled; s != nil {
+		fmt.Printf("sampled:         %d windows of %d refs (period %d): IPC %.3f ± %.3f (95%% CI), %d refs accurate + %d fast-forwarded\n",
+			s.Windows, s.WindowRefs, s.PeriodRefs, s.IPC, s.IPCCI95, s.MeasuredRefs, s.FastRefs)
+	}
 	if r.Design == taglessdram.Tagless {
 		c := r.Ctrl
 		fmt.Printf("cTLB handler:    %d walks: %d victim hits, %d cold fills, %d NC, %d pending waits, %d alias hits\n",

@@ -35,11 +35,25 @@ type Cache struct {
 	ways  int
 	nsets int
 	tags  []uint64 // set-major: tags[si*ways+w]
-	used  []uint64 // LRU timestamps, same layout
-	dirty []bool   // dirty bits, same layout
+	// used packs each way's LRU timestamp and dirty bit into one word
+	// (tick<<1 | dirty), so the access path touches two arrays instead of
+	// three. Timestamps are unique, so the dirty bit never decides a
+	// victim comparison.
+	used  []uint64
 	tick  uint64
 	shift uint // log2(line size)
 	mask  uint64
+
+	// pageCnt counts resident lines per page group (a page's block number
+	// prefix, hashed into a power-of-two table). InvalidateRange consults it
+	// to skip the per-line set scans for pages with no resident lines — the
+	// overwhelmingly common case when a DRAM-cache page eviction flushes a
+	// page that the small on-die cache never held. Hash collisions only ever
+	// inflate a count (forcing the scan), never hide a resident line, so the
+	// skip is exact. Nil when the line size does not evenly tile a page.
+	pageCnt   []uint32
+	pageShift uint // log2(lines per page)
+	pageMask  uint64
 
 	// Same-line memo: lastIdx is the flat index of the line that served the
 	// previous Access. A repeat access to the same block skips the way scan.
@@ -70,7 +84,6 @@ func New(cfg config.CacheConfig) *Cache {
 		nsets: nsets,
 		tags:  make([]uint64, n),
 		used:  make([]uint64, n),
-		dirty: make([]bool, n),
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
@@ -82,7 +95,23 @@ func New(cfg config.CacheConfig) *Cache {
 	if nsets&(nsets-1) != 0 {
 		c.mask = 0 // fall back to modulo for non-power-of-two set counts
 	}
+	if lpp := config.PageSize / cfg.LineBytes; lpp >= 2 && lpp&(lpp-1) == 0 && config.PageSize%cfg.LineBytes == 0 {
+		for lpp>>c.pageShift != 1 {
+			c.pageShift++
+		}
+		groups := 1
+		for groups < n/2 {
+			groups *= 2
+		}
+		c.pageCnt = make([]uint32, groups)
+		c.pageMask = uint64(groups - 1)
+	}
 	return c
+}
+
+// pageGroup returns the presence-counter slot for a line's block number.
+func (c *Cache) pageGroup(tag uint64) *uint32 {
+	return &c.pageCnt[tag>>c.pageShift&c.pageMask]
 }
 
 // Config returns the cache configuration.
@@ -117,53 +146,59 @@ func (c *Cache) Lookup(addr uint64) bool {
 func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, hasVictim bool) {
 	c.Accesses++
 	c.tick++
+	var wbit uint64
+	if write {
+		wbit = 1
+	}
 	block := addr >> c.shift
 	if block == c.lastBlock && c.tags[c.lastIdx] == block {
 		c.Hits++
-		c.used[c.lastIdx] = c.tick
-		if write {
-			c.dirty[c.lastIdx] = true
-		}
+		c.used[c.lastIdx] = c.tick<<1 | c.used[c.lastIdx]&1 | wbit
 		return true, Victim{}, false
 	}
 	si, tag := c.index(addr)
 	base := si * c.ways
 	tags := c.tags[base : base+c.ways]
+	used := c.used[base : base+c.ways]
+	// Hit path first: a pure equality scan over the set's tag words (one
+	// cache line for an 8-way set), touching the recency word only for
+	// the way that hit. The victim scan runs only on a miss.
 	for w, t := range tags {
 		if t == tag {
 			c.Hits++
-			i := base + w
-			c.lastBlock, c.lastIdx = tag, i
-			c.used[i] = c.tick
-			if write {
-				c.dirty[i] = true
-			}
+			c.lastBlock, c.lastIdx = tag, base+w
+			used[w] = c.tick<<1 | used[w]&1 | wbit
 			return true, Victim{}, false
 		}
 	}
 	c.Misses++
 	// Choose an invalid way, else the LRU way.
-	vi := 0
+	vi, vu := 0, ^uint64(0)
 	for w, t := range tags {
 		if t == invalidTag {
 			vi = w
 			break
 		}
-		if c.used[base+w] < c.used[base+vi] {
-			vi = w
+		if used[w] < vu {
+			vi, vu = w, used[w]
 		}
 	}
 	i := base + vi
 	if old := c.tags[i]; old != invalidTag {
 		hasVictim = true
-		victim = Victim{Addr: old << c.shift, Dirty: c.dirty[i]}
-		if c.dirty[i] {
+		victim = Victim{Addr: old << c.shift, Dirty: used[vi]&1 == 1}
+		if victim.Dirty {
 			c.Writebacks++
 		}
+		if c.pageCnt != nil {
+			*c.pageGroup(old)--
+		}
+	}
+	if c.pageCnt != nil {
+		*c.pageGroup(tag)++
 	}
 	c.tags[i] = tag
-	c.used[i] = c.tick
-	c.dirty[i] = write
+	c.used[i] = c.tick<<1 | wbit
 	c.lastBlock, c.lastIdx = tag, i
 	return false, victim, hasVictim
 }
@@ -176,7 +211,7 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 	base := si * c.ways
 	for w, t := range c.tags[base : base+c.ways] {
 		if t == tag {
-			c.dirty[base+w] = true
+			c.used[base+w] |= 1
 			return true
 		}
 	}
@@ -191,10 +226,12 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	for w, t := range c.tags[base : base+c.ways] {
 		if t == tag {
 			i := base + w
-			present, dirty = true, c.dirty[i]
+			present, dirty = true, c.used[i]&1 == 1
 			c.tags[i] = invalidTag
 			c.used[i] = 0
-			c.dirty[i] = false
+			if c.pageCnt != nil {
+				*c.pageGroup(tag)--
+			}
 			return present, dirty
 		}
 	}
@@ -205,12 +242,27 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // many of the dropped lines were dirty. Used when a DRAM-cache page is
 // evicted and its on-die (CA-tagged) lines must be flushed.
 func (c *Cache) InvalidateRange(base uint64, size int) (dropped, dirty int) {
-	for off := 0; off < size; off += c.cfg.LineBytes {
-		p, d := c.Invalidate(base + uint64(off))
-		if p {
-			dropped++
-			if d {
-				dirty++
+	lb := uint64(c.cfg.LineBytes)
+	addr, end := base, base+uint64(size)
+	for addr < end {
+		// First address past the page group containing addr's line.
+		next := (addr>>c.shift>>c.pageShift + 1) << c.pageShift << c.shift
+		if next > end {
+			next = end
+		}
+		if c.pageCnt != nil && *c.pageGroup(addr >> c.shift) == 0 {
+			// No line of this page group is resident: skip the whole group,
+			// keeping the stride phase-aligned with base.
+			addr += (next - addr + lb - 1) / lb * lb
+			continue
+		}
+		for ; addr < next; addr += lb {
+			p, d := c.Invalidate(addr)
+			if p {
+				dropped++
+				if d {
+					dirty++
+				}
 			}
 		}
 	}
@@ -239,12 +291,14 @@ func (c *Cache) Occupancy() int {
 // Flush invalidates everything, returning the number of dirty lines lost.
 func (c *Cache) Flush() (dirty int) {
 	for i := range c.tags {
-		if c.tags[i] != invalidTag && c.dirty[i] {
+		if c.tags[i] != invalidTag && c.used[i]&1 == 1 {
 			dirty++
 		}
 		c.tags[i] = invalidTag
 		c.used[i] = 0
-		c.dirty[i] = false
+	}
+	for i := range c.pageCnt {
+		c.pageCnt[i] = 0
 	}
 	return dirty
 }
@@ -255,4 +309,76 @@ func (c *Cache) Flush() (dirty int) {
 // victim selection mid-run.
 func (c *Cache) ResetStats() {
 	c.Accesses, c.Hits, c.Misses, c.Writebacks = 0, 0, 0, 0
+}
+
+// Counters snapshots the four statistics counters (for excluding a
+// fast-forwarded phase from measurement without losing warm contents).
+func (c *Cache) Counters() [4]uint64 {
+	return [4]uint64{c.Accesses, c.Hits, c.Misses, c.Writebacks}
+}
+
+// SetCounters restores counters captured by Counters.
+func (c *Cache) SetCounters(v [4]uint64) {
+	c.Accesses, c.Hits, c.Misses, c.Writebacks = v[0], v[1], v[2], v[3]
+}
+
+// State is a cache's serializable state: contents, recency and counters.
+// Geometry comes from construction and is not part of the state.
+type State struct {
+	Tags      []uint64
+	Used      []uint64
+	Dirty     []bool
+	Tick      uint64
+	LastBlock uint64
+	LastIdx   int
+	Counters  [4]uint64
+}
+
+// State snapshots the cache. The serialized form keeps timestamps and
+// dirty bits as separate slices, independent of the packed in-memory
+// layout.
+func (c *Cache) State() State {
+	st := State{
+		Tags:      append([]uint64(nil), c.tags...),
+		Used:      make([]uint64, len(c.used)),
+		Dirty:     make([]bool, len(c.used)),
+		Tick:      c.tick,
+		LastBlock: c.lastBlock,
+		LastIdx:   c.lastIdx,
+		Counters:  c.Counters(),
+	}
+	for i, u := range c.used {
+		st.Used[i] = u >> 1
+		st.Dirty[i] = u&1 == 1
+	}
+	return st
+}
+
+// SetState restores a snapshot taken from an identically-configured cache.
+func (c *Cache) SetState(st State) {
+	if len(st.Tags) != len(c.tags) {
+		panic(fmt.Sprintf("cache: state geometry mismatch (%d vs %d ways)", len(st.Tags), len(c.tags)))
+	}
+	copy(c.tags, st.Tags)
+	for i := range c.pageCnt {
+		c.pageCnt[i] = 0
+	}
+	if c.pageCnt != nil {
+		for _, t := range c.tags {
+			if t != invalidTag {
+				*c.pageGroup(t)++
+			}
+		}
+	}
+	for i := range c.used {
+		var d uint64
+		if i < len(st.Dirty) && st.Dirty[i] {
+			d = 1
+		}
+		c.used[i] = st.Used[i]<<1 | d
+	}
+	c.tick = st.Tick
+	c.lastBlock = st.LastBlock
+	c.lastIdx = st.LastIdx
+	c.SetCounters(st.Counters)
 }

@@ -152,3 +152,39 @@ func (c *Core) IPC() float64 {
 	}
 	return float64(c.Instructions) / float64(c.now)
 }
+
+// State is a core's serializable state. IssueWidth and MSHRs are
+// construction parameters and are not part of the state.
+type State struct {
+	Now          sim.Tick
+	PendInstr    int
+	Window       []sim.Tick
+	Instructions uint64
+	MemOps       uint64
+	StallCycles  uint64
+	SerialCycles uint64
+}
+
+// State snapshots the core.
+func (c *Core) State() State {
+	return State{
+		Now:          c.now,
+		PendInstr:    c.pendInstr,
+		Window:       append([]sim.Tick(nil), c.window...),
+		Instructions: c.Instructions,
+		MemOps:       c.MemOps,
+		StallCycles:  c.StallCycles,
+		SerialCycles: c.SerialCycles,
+	}
+}
+
+// SetState restores a snapshot taken from an identically-configured core.
+func (c *Core) SetState(st State) {
+	c.now = st.Now
+	c.pendInstr = st.PendInstr
+	c.window = append(c.window[:0], st.Window...)
+	c.Instructions = st.Instructions
+	c.MemOps = st.MemOps
+	c.StallCycles = st.StallCycles
+	c.SerialCycles = st.SerialCycles
+}

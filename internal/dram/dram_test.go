@@ -357,8 +357,8 @@ func TestQueueWaitOnBusyBank(t *testing.T) {
 
 func TestPerBankTelemetryAndBusTicks(t *testing.T) {
 	d := inPkg(t)
-	d.Access(0, 0, 64, Read)      // closed-bank activate on bank 0
-	d.Access(1000, 0, 64, Read)   // row hit on bank 0
+	d.Access(0, 0, 64, Read)    // closed-bank activate on bank 0
+	d.Access(1000, 0, 64, Read) // row hit on bank 0
 	rowBytes := uint64(d.cfg.RowBytes)
 	nb := uint64(len(d.banks))
 	d.Access(2000, rowBytes*nb, 64, Read) // same bank, different row: conflict

@@ -141,3 +141,46 @@ func (c *BlockCache) Occupancy() int {
 func (c *BlockCache) ResetStats() {
 	c.Lookups, c.Hits, c.MissFills, c.Writebacks = 0, 0, 0, 0
 }
+
+// Counters snapshots the four statistics counters.
+func (c *BlockCache) Counters() [4]uint64 {
+	return [4]uint64{c.Lookups, c.Hits, c.MissFills, c.Writebacks}
+}
+
+// SetCounters restores counters captured by Counters.
+func (c *BlockCache) SetCounters(v [4]uint64) {
+	c.Lookups, c.Hits, c.MissFills, c.Writebacks = v[0], v[1], v[2], v[3]
+}
+
+// BlockSlotState is one serialized TAD slot of the block cache.
+type BlockSlotState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// BlockCacheState is the cache's serializable state.
+type BlockCacheState struct {
+	Slots    []BlockSlotState
+	Counters [4]uint64
+}
+
+// State snapshots the cache.
+func (c *BlockCache) State() BlockCacheState {
+	st := BlockCacheState{Slots: make([]BlockSlotState, len(c.sets)), Counters: c.Counters()}
+	for i := range c.sets {
+		st.Slots[i] = BlockSlotState{Tag: c.sets[i].tag, Valid: c.sets[i].valid, Dirty: c.sets[i].dirty}
+	}
+	return st
+}
+
+// SetState restores a snapshot taken from an identically-sized cache.
+func (c *BlockCache) SetState(st BlockCacheState) {
+	if len(st.Slots) != len(c.sets) {
+		panic(fmt.Sprintf("dramcache: block-cache state mismatch (%d vs %d slots)", len(st.Slots), len(c.sets)))
+	}
+	for i := range c.sets {
+		c.sets[i] = blockSlot{tag: st.Slots[i].Tag, valid: st.Slots[i].Valid, dirty: st.Slots[i].Dirty}
+	}
+	c.SetCounters(st.Counters)
+}

@@ -191,6 +191,64 @@ func (c *PageCache) ResetStats() {
 	c.Lookups, c.Hits, c.MissFills, c.Evictions, c.Writebacks = 0, 0, 0, 0, 0
 }
 
+// Counters snapshots the five statistics counters.
+func (c *PageCache) Counters() [5]uint64 {
+	return [5]uint64{c.Lookups, c.Hits, c.MissFills, c.Evictions, c.Writebacks}
+}
+
+// SetCounters restores counters captured by Counters.
+func (c *PageCache) SetCounters(v [5]uint64) {
+	c.Lookups, c.Hits, c.MissFills, c.Evictions, c.Writebacks = v[0], v[1], v[2], v[3], v[4]
+}
+
+// PageSlotState is one serialized page frame of the SRAM-tag cache.
+type PageSlotState struct {
+	PPN   uint64
+	Valid bool
+	Dirty bool
+	Used  uint64
+}
+
+// PageCacheState is the cache's serializable state (set-major slots).
+type PageCacheState struct {
+	Slots    []PageSlotState
+	Tick     uint64
+	Counters [5]uint64
+}
+
+// State snapshots the cache.
+func (c *PageCache) State() PageCacheState {
+	st := PageCacheState{
+		Slots:    make([]PageSlotState, 0, len(c.sets)*c.ways),
+		Tick:     c.tick,
+		Counters: c.Counters(),
+	}
+	for _, set := range c.sets {
+		for w := range set {
+			s := &set[w]
+			st.Slots = append(st.Slots, PageSlotState{PPN: s.ppn, Valid: s.valid, Dirty: s.dirty, Used: s.used})
+		}
+	}
+	return st
+}
+
+// SetState restores a snapshot taken from an identically-sized cache.
+func (c *PageCache) SetState(st PageCacheState) {
+	if len(st.Slots) != len(c.sets)*c.ways {
+		panic(fmt.Sprintf("dramcache: page-cache state mismatch (%d vs %d slots)", len(st.Slots), len(c.sets)*c.ways))
+	}
+	i := 0
+	for _, set := range c.sets {
+		for w := range set {
+			s := st.Slots[i]
+			set[w] = pslot{ppn: s.PPN, valid: s.Valid, dirty: s.Dirty, used: s.Used}
+			i++
+		}
+	}
+	c.tick = st.Tick
+	c.SetCounters(st.Counters)
+}
+
 // BankInterleaver implements the "BI" heterogeneous-memory baseline: the
 // in-package DRAM is mapped into the physical address space and pages are
 // interleaved OS-obliviously, so a capacity-proportional fraction of pages

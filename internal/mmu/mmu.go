@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // ErrOutOfMemory is returned when the backing store has no free frames.
@@ -270,6 +271,99 @@ func (pt *PageTable) SetNonCacheable(vpn uint64) error {
 
 // Pages returns the number of mapped pages.
 func (pt *PageTable) Pages() int { return pt.pages }
+
+// Range calls fn for every mapped entry in ascending vpn order (for
+// superpage entries, the region-base vpn they were inserted under). The
+// pointers alias the table, like Walk's. Iteration stops when fn returns
+// false.
+func (pt *PageTable) Range(fn func(vpn uint64, pte *PTE) bool) {
+	bases := make([]uint64, 0, len(pt.root))
+	for b := range pt.root {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, b := range bases {
+		l := pt.root[b]
+		for w, set := range l.present {
+			for set != 0 {
+				off := w<<6 + bits.TrailingZeros64(set)
+				if !fn(l.base<<leafBits|uint64(off), &l.ptes[off]) {
+					return
+				}
+				set &= set - 1
+			}
+		}
+	}
+}
+
+// LeafState is one serialized leaf arena of a page table.
+type LeafState struct {
+	Base    uint64
+	Present [leafPages / 64]uint64
+	PTEs    [leafPages]PTE
+}
+
+// TableState is a page table's serializable state (ASID and the backing
+// allocator are construction inputs).
+type TableState struct {
+	Leaves     []LeafState
+	Pages      int
+	Walks      uint64
+	PageFaults uint64
+}
+
+// State snapshots the table, leaves sorted by base for stable output.
+func (pt *PageTable) State() TableState {
+	st := TableState{
+		Leaves:     make([]LeafState, 0, len(pt.root)),
+		Pages:      pt.pages,
+		Walks:      pt.Walks,
+		PageFaults: pt.PageFaults,
+	}
+	bases := make([]uint64, 0, len(pt.root))
+	for b := range pt.root {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, b := range bases {
+		l := pt.root[b]
+		st.Leaves = append(st.Leaves, LeafState{Base: l.base, Present: l.present, PTEs: l.ptes})
+	}
+	return st
+}
+
+// SetState rebuilds the table from a snapshot. Previously handed-out PTE
+// pointers are invalidated; callers must re-resolve them (the checkpoint
+// layer re-links GIPT and alias references through Lookup).
+func (pt *PageTable) SetState(st TableState) {
+	pt.root = make(map[uint64]*ptLeaf, len(st.Leaves))
+	pt.last = nil
+	for i := range st.Leaves {
+		ls := &st.Leaves[i]
+		l := &ptLeaf{base: ls.Base, present: ls.Present, ptes: ls.PTEs}
+		pt.root[l.base] = l
+	}
+	pt.pages = st.Pages
+	pt.Walks = st.Walks
+	pt.PageFaults = st.PageFaults
+}
+
+// AllocState is a FrameAllocator's serializable state.
+type AllocState struct {
+	Next uint64
+	Free []uint64
+}
+
+// State snapshots the allocator.
+func (a *FrameAllocator) State() AllocState {
+	return AllocState{Next: a.next, Free: append([]uint64(nil), a.free...)}
+}
+
+// SetState restores a snapshot taken from an allocator of equal capacity.
+func (a *FrameAllocator) SetState(st AllocState) {
+	a.next = st.Next
+	a.free = append(a.free[:0], st.Free...)
+}
 
 // CachedPages counts entries with VC set — used to validate the invariant
 // that it always equals the number of GIPT entries pointing at this table.

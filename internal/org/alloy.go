@@ -21,6 +21,7 @@ func init() {
 type Alloy struct {
 	p     Ports
 	cache *dramcache.BlockCache
+	saved [4]uint64 // counter snapshot across a fast-forwarded span
 }
 
 // Access performs the TAD probe and the hit read or miss fill.
@@ -70,6 +71,40 @@ func (o *Alloy) Writeback(at sim.Tick, key uint64) {
 
 // ResetStats clears the block-cache counters.
 func (o *Alloy) ResetStats() { o.cache.ResetStats() }
+
+// FastBegin snapshots the block-cache counters for restoration in FastEnd.
+func (o *Alloy) FastBegin() { o.saved = o.cache.Counters() }
+
+// FastAccess applies the direct-mapped state transitions of Access —
+// dirtiness on a hit, displacement and fill on a miss — with no device
+// traffic.
+func (o *Alloy) FastAccess(r FastRequest) {
+	if _, hit := o.cache.Lookup(r.Key, r.Write); hit {
+		return
+	}
+	o.cache.Fill(r.Key, r.Write)
+}
+
+// FastWriteback marks the victim's line dirty when resident.
+func (o *Alloy) FastWriteback(_ sim.Tick, key uint64) {
+	o.cache.MarkDirty(key)
+}
+
+// FastEnd restores the counters captured by FastBegin.
+func (o *Alloy) FastEnd() { o.cache.SetCounters(o.saved) }
+
+// SnapshotOrg captures the block cache (slots and counters).
+func (o *Alloy) SnapshotOrg() ([]byte, error) { return encodeState(o.cache.State()) }
+
+// RestoreOrg restores a snapshot taken from an identically-sized cache.
+func (o *Alloy) RestoreOrg(data []byte) error {
+	var st dramcache.BlockCacheState
+	if err := decodeState(data, &st); err != nil {
+		return err
+	}
+	o.cache.SetState(st)
+	return nil
+}
 
 // Collect is a no-op: the block cache's counters feed no Result field.
 func (o *Alloy) Collect(*Stats) {}

@@ -2,6 +2,7 @@ package org
 
 import (
 	"fmt"
+	"sort"
 
 	"taglessdram/internal/config"
 	"taglessdram/internal/dram"
@@ -62,6 +63,7 @@ type Banshee struct {
 	sets       []bansheeSlot // pages slots, bansheeWays per set
 	freq       map[uint64]uint32
 	tagBufUsed int
+	saved      [6]uint64 // counter snapshot across a fast-forwarded span
 
 	// Counters (reset at the measurement boundary; exported for tests).
 	Lookups    uint64
@@ -211,6 +213,136 @@ func (o *Banshee) Writeback(at sim.Tick, key uint64) {
 // ResetStats clears counters, keeping cache contents and frequency state.
 func (o *Banshee) ResetStats() {
 	o.Lookups, o.Hits, o.Fills, o.Bypasses, o.Writebacks, o.TagFlushes = 0, 0, 0, 0, 0, 0
+}
+
+// counters snapshots the six statistics counters.
+func (o *Banshee) counters() [6]uint64 {
+	return [6]uint64{o.Lookups, o.Hits, o.Fills, o.Bypasses, o.Writebacks, o.TagFlushes}
+}
+
+// setCounters restores counters captured by counters.
+func (o *Banshee) setCounters(v [6]uint64) {
+	o.Lookups, o.Hits, o.Fills, o.Bypasses, o.Writebacks, o.TagFlushes = v[0], v[1], v[2], v[3], v[4], v[5]
+}
+
+// FastBegin snapshots the counters for restoration in FastEnd.
+func (o *Banshee) FastBegin() { o.saved = o.counters() }
+
+// FastAccess applies the FBR state machine of Access — hit counting,
+// fill-threshold filtering, victim displacement, tag-buffer occupancy —
+// with no device traffic (a tag-buffer flush updates occupancy but books
+// no metadata write).
+func (o *Banshee) FastAccess(r FastRequest) {
+	ppn := r.Frame
+	_, set := o.set(ppn)
+	o.Lookups++
+	if w := lookupWay(set, ppn); w >= 0 {
+		s := &set[w]
+		o.Hits++
+		if s.count != ^uint32(0) {
+			s.count++
+		}
+		if r.Write {
+			s.dirty = true
+		}
+		return
+	}
+	n := o.freq[ppn] + 1
+	o.freq[ppn] = n
+	w := victimWay(set)
+	victim := &set[w]
+	if n >= bansheeFillThreshold && (!victim.valid || n >= victim.count) {
+		o.Fills++
+		if victim.valid && victim.dirty {
+			o.Writebacks++
+		}
+		delete(o.freq, ppn)
+		*victim = bansheeSlot{ppn: ppn, valid: true, dirty: r.Write, count: n}
+		o.tagBufUsed++
+		if o.tagBufUsed == bansheeTagBufEntries {
+			o.TagFlushes++
+			o.tagBufUsed = 0
+		}
+		return
+	}
+	o.Bypasses++
+	if victim.valid && victim.count > 0 {
+		victim.count--
+	}
+}
+
+// FastWriteback marks the victim's page dirty when resident.
+func (o *Banshee) FastWriteback(_ sim.Tick, key uint64) {
+	ppn := key / config.PageSize
+	_, set := o.set(ppn)
+	if w := lookupWay(set, ppn); w >= 0 {
+		set[w].dirty = true
+	}
+}
+
+// FastEnd restores the counters captured by FastBegin.
+func (o *Banshee) FastEnd() { o.setCounters(o.saved) }
+
+// bansheeSlotState mirrors bansheeSlot with exported fields for gob.
+type bansheeSlotState struct {
+	PPN   uint64
+	Valid bool
+	Dirty bool
+	Count uint32
+}
+
+// bansheeFreq is one serialized frequency-counter pair.
+type bansheeFreq struct {
+	PPN   uint64
+	Count uint32
+}
+
+// bansheeState is the design's serializable state.
+type bansheeState struct {
+	Sets       []bansheeSlotState
+	Freq       []bansheeFreq // sorted by PPN for a stable encoding
+	TagBufUsed int
+	Counters   [6]uint64
+}
+
+// SnapshotOrg captures slots, frequency counters, tag-buffer occupancy
+// and statistics.
+func (o *Banshee) SnapshotOrg() ([]byte, error) {
+	st := bansheeState{
+		Sets:       make([]bansheeSlotState, len(o.sets)),
+		Freq:       make([]bansheeFreq, 0, len(o.freq)),
+		TagBufUsed: o.tagBufUsed,
+		Counters:   o.counters(),
+	}
+	for i, s := range o.sets {
+		st.Sets[i] = bansheeSlotState{PPN: s.ppn, Valid: s.valid, Dirty: s.dirty, Count: s.count}
+	}
+	for ppn, n := range o.freq {
+		st.Freq = append(st.Freq, bansheeFreq{PPN: ppn, Count: n})
+	}
+	sort.Slice(st.Freq, func(i, j int) bool { return st.Freq[i].PPN < st.Freq[j].PPN })
+	return encodeState(st)
+}
+
+// RestoreOrg restores a snapshot taken from an identically-sized cache.
+func (o *Banshee) RestoreOrg(data []byte) error {
+	var st bansheeState
+	if err := decodeState(data, &st); err != nil {
+		return err
+	}
+	if len(st.Sets) != len(o.sets) {
+		return fmt.Errorf("org: banshee state mismatch (%d vs %d slots)", len(st.Sets), len(o.sets))
+	}
+	for i, s := range st.Sets {
+		o.sets[i] = bansheeSlot{ppn: s.PPN, valid: s.Valid, dirty: s.Dirty, count: s.Count}
+	}
+	o.freq = make(map[uint64]uint32, len(st.Freq))
+	for _, f := range st.Freq {
+		o.freq[f.PPN] = f.Count
+	}
+	o.tagBufUsed = st.TagBufUsed
+	o.setCounters(st.Counters)
+	return nil
 }
 
 // Collect is a no-op: the design's counters feed no Result field (the

@@ -54,3 +54,16 @@ func (o *Ideal) ResetStats() {}
 
 // Collect is a no-op: the design has no counters.
 func (o *Ideal) Collect(*Stats) {}
+
+// FastBegin is a no-op: the design has no counters to protect.
+func (o *Ideal) FastBegin() {}
+
+// FastAccess is a no-op: every access hits and the fold is stateless, so
+// a fast-forwarded access leaves nothing to warm.
+func (o *Ideal) FastAccess(FastRequest) {}
+
+// FastWriteback is a no-op: the design is stateless.
+func (o *Ideal) FastWriteback(sim.Tick, uint64) {}
+
+// FastEnd is a no-op.
+func (o *Ideal) FastEnd() {}

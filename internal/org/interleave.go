@@ -67,3 +67,39 @@ func (o *Interleave) ResetStats() {
 
 // Collect is a no-op: the routing counters feed no Result field.
 func (o *Interleave) Collect(*Stats) {}
+
+// FastBegin is a no-op: the fast path never calls Map, so the routing
+// counters need no protection.
+func (o *Interleave) FastBegin() {}
+
+// FastAccess is a no-op: the interleave mapping is a pure function of the
+// address — there is no residence or replacement state to warm, and
+// skipping Map keeps the routing counters clean.
+func (o *Interleave) FastAccess(FastRequest) {}
+
+// FastWriteback is a no-op for the same reason.
+func (o *Interleave) FastWriteback(sim.Tick, uint64) {}
+
+// FastEnd is a no-op.
+func (o *Interleave) FastEnd() {}
+
+// interleaveState is the design's serializable state: only the routing
+// counters (the mapping itself is configuration).
+type interleaveState struct {
+	InPkg, OffPkg uint64
+}
+
+// SnapshotOrg captures the routing counters.
+func (o *Interleave) SnapshotOrg() ([]byte, error) {
+	return encodeState(interleaveState{InPkg: o.inter.InPkgAccesses, OffPkg: o.inter.OffPkgAccesses})
+}
+
+// RestoreOrg restores counters captured by SnapshotOrg.
+func (o *Interleave) RestoreOrg(data []byte) error {
+	var st interleaveState
+	if err := decodeState(data, &st); err != nil {
+		return err
+	}
+	o.inter.InPkgAccesses, o.inter.OffPkgAccesses = st.InPkg, st.OffPkg
+	return nil
+}

@@ -15,6 +15,8 @@
 package org
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -127,6 +129,65 @@ type Organization interface {
 	// Collect reports the design-specific counters of the measured
 	// window.
 	Collect(*Stats)
+}
+
+// FastRequest is one L2-miss access on the functional fast-forward path:
+// the same addressing fields as Request with a timestamp in place of the
+// timing handles (no CPU, no dependence — the fast path models state, not
+// latency).
+type FastRequest struct {
+	// At is the requesting core's clock, used only where the design keeps
+	// recency state (the tagless controller's LRU timestamps).
+	At sim.Tick
+	// Key, Frame, Offset, NC and Write have Request's meanings.
+	Key    uint64
+	Frame  uint64
+	Offset uint64
+	NC     bool
+	Write  bool
+}
+
+// FastPath is implemented by organizations that support functional
+// fast-forward: FastAccess and FastWriteback apply the same
+// design-specific state transitions as Access and Writeback (residence,
+// replacement, dirtiness) with no device traffic, no kernel events and no
+// latency charging. FastBegin/FastEnd bracket each fast-forwarded span:
+// the design snapshots its statistics counters in FastBegin and restores
+// them in FastEnd, so fast-forwarded references warm state without
+// polluting measured-window counters. All seven built-in designs
+// implement it; the machine refuses to fast-forward otherwise.
+type FastPath interface {
+	FastBegin()
+	FastAccess(r FastRequest)
+	FastWriteback(at sim.Tick, key uint64)
+	FastEnd()
+}
+
+// Snapshotter is implemented by organizations with design-specific
+// warmable state worth checkpointing (tag arrays, frequency counters,
+// measurement baselines). The encoding is opaque to the caller; restore
+// must only be attempted against an identically-configured organization.
+// The tagless controller's state is NOT part of SnapshotOrg — the machine
+// owns the page tables its PTE pointers resolve against and snapshots the
+// controller itself. Stateless designs simply do not implement the
+// interface.
+type Snapshotter interface {
+	SnapshotOrg() ([]byte, error)
+	RestoreOrg(data []byte) error
+}
+
+// encodeState gob-encodes one design's snapshot payload.
+func encodeState(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeState decodes a payload produced by encodeState.
+func decodeState(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }
 
 // Factory builds an Organization from the machine's ports.

@@ -24,6 +24,7 @@ func init() {
 type SRAMTag struct {
 	p     Ports
 	cache *dramcache.PageCache
+	saved [5]uint64 // counter snapshot across a fast-forwarded span
 }
 
 // Access performs the tag check and the hit block access or miss fill.
@@ -83,6 +84,41 @@ func (o *SRAMTag) Writeback(at sim.Tick, key uint64) {
 
 // ResetStats clears the page-cache counters.
 func (o *SRAMTag) ResetStats() { o.cache.ResetStats() }
+
+// FastBegin snapshots the page-cache counters for restoration in FastEnd.
+func (o *SRAMTag) FastBegin() { o.saved = o.cache.Counters() }
+
+// FastAccess applies the tag-array state transitions of Access — LRU
+// refresh and dirtiness on a hit, victim selection and allocation on a
+// miss — with no device traffic.
+func (o *SRAMTag) FastAccess(r FastRequest) {
+	if _, hit := o.cache.Lookup(r.Frame, r.Write); hit {
+		return
+	}
+	o.cache.Fill(r.Frame, r.Write)
+}
+
+// FastWriteback marks the victim's page dirty when resident (Writeback's
+// state effect; the device traffic is skipped).
+func (o *SRAMTag) FastWriteback(_ sim.Tick, key uint64) {
+	o.cache.MarkDirty(key / config.PageSize)
+}
+
+// FastEnd restores the counters captured by FastBegin.
+func (o *SRAMTag) FastEnd() { o.cache.SetCounters(o.saved) }
+
+// SnapshotOrg captures the page cache (slots, LRU clock, counters).
+func (o *SRAMTag) SnapshotOrg() ([]byte, error) { return encodeState(o.cache.State()) }
+
+// RestoreOrg restores a snapshot taken from an identically-sized cache.
+func (o *SRAMTag) RestoreOrg(data []byte) error {
+	var st dramcache.PageCacheState
+	if err := decodeState(data, &st); err != nil {
+		return err
+	}
+	o.cache.SetState(st)
+	return nil
+}
 
 // Collect reports the tag array's hit rate and energy.
 func (o *SRAMTag) Collect(s *Stats) {

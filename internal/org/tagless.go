@@ -48,6 +48,7 @@ type Tagless struct {
 	ctrl    *core.Controller
 	caShift uint // log2(spPages*PageSize): CA bytes → block number
 	start   core.Stats
+	saved   core.Stats // counter snapshot across a fast-forwarded span
 }
 
 // Controller exposes the cTLB controller: the machine wires its miss
@@ -109,6 +110,40 @@ func (o *Tagless) ResetStats() { o.start = o.ctrl.Stats() }
 func (o *Tagless) Collect(s *Stats) {
 	s.Ctrl = o.ctrl.Stats().Sub(o.start)
 }
+
+// FastBegin snapshots the controller counters so the fast-forwarded
+// span's FastTLBMiss and Touch bookkeeping can be rolled back in FastEnd.
+func (o *Tagless) FastBegin() { o.saved = o.ctrl.Stats() }
+
+// FastAccess applies the state effect of a cTLB-hit access: recency and
+// dirtiness on the touched block. Non-cacheable accesses have no
+// cache-side state.
+func (o *Tagless) FastAccess(r FastRequest) {
+	if r.NC {
+		return
+	}
+	o.ctrl.Touch(r.At, r.Key>>o.caShift, r.Write)
+}
+
+// FastWriteback marks the CA-tagged victim's block dirty; PA-tagged
+// (non-cacheable) victims leave no cache-side state.
+func (o *Tagless) FastWriteback(at sim.Tick, key uint64) {
+	if key&PABit != 0 {
+		return
+	}
+	o.ctrl.Touch(at, key>>o.caShift, true)
+}
+
+// FastEnd restores the counters captured by FastBegin.
+func (o *Tagless) FastEnd() { o.ctrl.SetStats(o.saved) }
+
+// SnapshotOrg captures only the measurement baseline: the controller's
+// own state (GIPT, free lists, alias table) is snapshotted by the machine,
+// which owns the page tables its PTE pointers resolve against.
+func (o *Tagless) SnapshotOrg() ([]byte, error) { return encodeState(o.start) }
+
+// RestoreOrg restores the measurement baseline captured by SnapshotOrg.
+func (o *Tagless) RestoreOrg(data []byte) error { return decodeState(data, &o.start) }
 
 // EpochGauges reports the controller's free-pool pressure for epoch
 // sampling: the free-list depth and the eviction daemon's queue length.

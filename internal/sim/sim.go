@@ -10,7 +10,10 @@
 // sequence so simulations are fully deterministic.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Tick is a point in simulated time, measured in CPU cycles.
 type Tick uint64
@@ -239,6 +242,36 @@ func (k *Kernel) advanceSlow(to Tick) {
 	}
 }
 
+// KernelState is the kernel's serializable state. Checkpoints require a
+// quiesced kernel, so the pending-event queue is never part of the state:
+// State fails if events remain (run the kernel dry first — every recurring
+// daemon in this simulator reschedules itself only while it has work).
+type KernelState struct {
+	Now      Tick
+	Seq      uint64
+	Executed uint64
+}
+
+// State snapshots a quiesced kernel.
+func (k *Kernel) State() (KernelState, error) {
+	if len(k.events) > 0 {
+		return KernelState{}, fmt.Errorf("sim: cannot snapshot kernel with %d pending events", len(k.events))
+	}
+	return KernelState{Now: k.now, Seq: k.seq, Executed: k.executed}, nil
+}
+
+// SetState restores a quiesced kernel's snapshot. The target must itself
+// hold no pending events.
+func (k *Kernel) SetState(st KernelState) error {
+	if len(k.events) > 0 {
+		return fmt.Errorf("sim: cannot restore over %d pending events", len(k.events))
+	}
+	k.now = st.Now
+	k.seq = st.Seq
+	k.executed = st.Executed
+	return nil
+}
+
 // Resource is a serially reusable unit (a DRAM bank, a data bus): at most
 // one request occupies it at a time, and requests are served in arrival
 // order at the resource.
@@ -250,6 +283,12 @@ type Resource struct {
 
 // FreeAt returns the cycle at which the resource next becomes idle.
 func (r *Resource) FreeAt() Tick { return r.freeAt }
+
+// State returns the resource's serializable state.
+func (r *Resource) State() (freeAt, busy Tick) { return r.freeAt, r.Busy }
+
+// SetState restores state captured by State.
+func (r *Resource) SetState(freeAt, busy Tick) { r.freeAt, r.Busy = freeAt, busy }
 
 // Acquire reserves the resource for `dur` cycles for a request arriving at
 // `at`. It returns the cycle at which service starts (≥ at) — the caller's

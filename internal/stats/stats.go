@@ -86,6 +86,17 @@ func (m *Mean) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
+// CI95 returns the half-width of the 95% confidence interval on the mean
+// under the normal approximation (1.96·s/√n) — the error-bound estimator
+// SMARTS-style sampled simulation reports. It is 0 with fewer than two
+// samples.
+func (m *Mean) CI95() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return 1.96 * m.StdDev() / math.Sqrt(float64(m.n))
+}
+
 // Min returns the smallest observed sample, or 0 with no samples.
 func (m *Mean) Min() float64 { return m.min }
 
@@ -97,6 +108,61 @@ func (m *Mean) Sum() float64 { return m.mean * float64(m.n) }
 
 // Reset discards all samples.
 func (m *Mean) Reset() { *m = Mean{} }
+
+// Ratio accumulates a streaming ratio-of-sums estimator R = Σy/Σx over
+// observation pairs, with a linearized (delta-method) variance. It is
+// the right CI for rate-like quantities — IPC is instructions/cycles —
+// where the naive mean of per-window ratios is Jensen-biased high
+// whenever the denominator varies across windows: E[y/x] ≥ E[y]/E[x].
+// The pooled ratio matches what an uninterrupted run would report, and
+// the classical survey-sampling variance for it is built from the
+// residuals d_i = y_i − R·x_i.
+type Ratio struct {
+	n             uint64
+	sy, sx        float64
+	syy, sxx, sxy float64
+}
+
+// Observe records one (numerator, denominator) pair.
+func (r *Ratio) Observe(y, x float64) {
+	r.n++
+	r.sy += y
+	r.sx += x
+	r.syy += y * y
+	r.sxx += x * x
+	r.sxy += x * y
+}
+
+// Count returns the number of pairs observed.
+func (r *Ratio) Count() uint64 { return r.n }
+
+// Value returns Σy/Σx, or 0 with no mass in the denominator.
+func (r *Ratio) Value() float64 {
+	if r.sx == 0 {
+		return 0
+	}
+	return r.sy / r.sx
+}
+
+// CI95 returns the half-width of the 95% confidence interval on the
+// pooled ratio under the normal approximation:
+// 1.96·s_d/(√n·x̄) with s_d² = Σ(y_i−R·x_i)²/(n−1). It is 0 with fewer
+// than two pairs.
+func (r *Ratio) CI95() float64 {
+	if r.n < 2 || r.sx == 0 {
+		return 0
+	}
+	R := r.sy / r.sx
+	sd2 := (r.syy - 2*R*r.sxy + R*R*r.sxx) / float64(r.n-1)
+	if sd2 < 0 { // floating-point cancellation on near-exact fits
+		sd2 = 0
+	}
+	xbar := r.sx / float64(r.n)
+	return 1.96 * math.Sqrt(sd2/float64(r.n)) / xbar
+}
+
+// Reset discards all pairs.
+func (r *Ratio) Reset() { *r = Ratio{} }
 
 // Histogram is a fixed-width-bucket histogram over [0, BucketWidth*len).
 // Samples beyond the last bucket land in an overflow bucket.

@@ -381,3 +381,55 @@ func TestQuantilesMatchesPercentile(t *testing.T) {
 		t.Fatalf("empty probe set: %v", got)
 	}
 }
+
+func TestRatioPooledValue(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 || r.CI95() != 0 {
+		t.Fatal("zero value should report 0 estimate and 0 CI")
+	}
+	// Pairs with a common true ratio of 2 but varying denominators: the
+	// pooled estimate is exactly 2 and the residual variance is zero.
+	for _, x := range []float64{1, 3, 10, 0.5} {
+		r.Observe(2*x, x)
+	}
+	if got := r.Value(); got != 2 {
+		t.Fatalf("Value() = %v, want 2", got)
+	}
+	if got := r.CI95(); got != 0 {
+		t.Fatalf("CI95() on exact-fit pairs = %v, want 0", got)
+	}
+	if r.Count() != 4 {
+		t.Fatalf("Count() = %d, want 4", r.Count())
+	}
+	r.Reset()
+	if r.Count() != 0 || r.Value() != 0 {
+		t.Fatal("Reset() did not clear the accumulator")
+	}
+}
+
+func TestRatioBeatsMeanOfRatios(t *testing.T) {
+	// Fixed numerator, varying denominator — the setting where the mean
+	// of per-pair ratios is Jensen-biased above the pooled ratio, which
+	// is the quantity an uninterrupted run would report.
+	var r Ratio
+	var m Mean
+	ys := []float64{100, 100, 100, 100}
+	xs := []float64{40, 60, 50, 70}
+	var sy, sx float64
+	for i := range ys {
+		r.Observe(ys[i], xs[i])
+		m.Observe(ys[i] / xs[i])
+		sy += ys[i]
+		sx += xs[i]
+	}
+	want := sy / sx
+	if got := r.Value(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Value() = %v, want pooled %v", got, want)
+	}
+	if m.Value() <= r.Value() {
+		t.Fatalf("mean of ratios %v should exceed pooled ratio %v on varying denominators", m.Value(), r.Value())
+	}
+	if ci := r.CI95(); ci <= 0 {
+		t.Fatalf("CI95() = %v, want positive on noisy pairs", ci)
+	}
+}

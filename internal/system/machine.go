@@ -35,6 +35,7 @@ type coreCtx struct {
 	l1     *cache.Cache
 	l2     *cache.Cache
 	gen    trace.Source
+	vgen   *trace.Generator // gen when it is a Generator (visit-granular ff)
 	pt     *mmu.PageTable
 	active bool
 	done   bool
@@ -53,6 +54,19 @@ type coreCtx struct {
 	// pteCache models the MMU's translation-cache for leaf PTE lines
 	// (memory-walk model only).
 	pteCache *cache.Cache
+
+	// ffFilt is the fast-forward path's stand-in for the on-die hierarchy:
+	// a direct-mapped memo over block numbers, sized to the L2's line
+	// count, deciding which touches perform a real L2 access (and, on L2
+	// miss, reach the organization) at the cost of one array probe. Each
+	// slot packs the block's tag-remainder signature with the ff-span
+	// epoch that wrote it, so entries expire when the span ends — a block
+	// is only memoized while its recency plausibly keeps it on-die, never
+	// across measurement windows. Pure scratch: lazily allocated, never
+	// serialized.
+	ffFilt []uint64
+	ffMask uint64
+	ffLog  uint
 
 	startCycle sim.Tick
 	startInstr uint64
@@ -104,6 +118,18 @@ type Machine struct {
 	sched     []*coreCtx
 	forceScan bool
 	refs      uint64 // trace references processed (all phases)
+
+	// Fast-forward state: the organization's functional fast path (nil
+	// when unimplemented) and the per-core counter snapshots bracketing
+	// each fast-forwarded span.
+	fast    org.FastPath
+	ffSave  []ffCoreSaved
+	ffEpoch uint32 // current fast-forward span, for ffFilt entry expiry
+
+	// warmedTo is the per-core instruction count the Warmup/Measure pair
+	// has warmed to (phase targets are absolute counts, so Measure and a
+	// restored checkpoint must agree on the warm-up length).
+	warmedTo uint64
 
 	// Measurement state.
 	measuring  bool
@@ -201,6 +227,7 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		}
 		if i < nactive {
 			cc.gen = gens[i]
+			cc.vgen, _ = gens[i].(*trace.Generator)
 			cc.pt = pts[i]
 			cc.active = true
 			if cfg.Design == config.Tagless && cfg.Tagless.HotFilterThreshold > 0 {
@@ -267,6 +294,7 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 	}
 	m.sched = make([]*coreCtx, 0, len(m.cores))
 	m.gauges, _ = o.(org.GaugeSource)
+	m.fast, _ = o.(org.FastPath)
 	return m, nil
 }
 

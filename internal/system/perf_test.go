@@ -60,10 +60,31 @@ func BenchmarkMachineStep(b *testing.B) {
 	}
 }
 
-// TestStepAllocFree is the tentpole's allocation guard: after warm-up, the
-// per-reference loop of the Tagless and SRAM-tag designs must not allocate
-// at all. A regression here means a closure, map insert, or interface
-// boxing crept back into the hot path.
+// BenchmarkMachineFastForward meters the functional fast-forward path on
+// the same rig as BenchmarkMachineStep, so the ratio of the two is the
+// ff speedup under identical conditions.
+func BenchmarkMachineFastForward(b *testing.B) {
+	for _, d := range []config.L3Design{
+		config.NoL3, config.BankInterleave, config.SRAMTag, config.Tagless, config.Ideal,
+		config.Banshee,
+	} {
+		b.Run(d.String(), func(b *testing.B) {
+			m := benchStepMachine(b, d)
+			warmSteps(b, m, 100_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := m.FastForwardRefs(uint64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStepAllocFree is the tentpole's allocation guard: after warm-up,
+// neither the accurate per-reference loop nor the functional fast-forward
+// loop of the Tagless and SRAM-tag designs may allocate at all. A
+// regression here means a closure, map insert, or interface boxing crept
+// back into a hot path.
 func TestStepAllocFree(t *testing.T) {
 	for _, d := range []config.L3Design{config.Tagless, config.SRAMTag} {
 		t.Run(d.String(), func(t *testing.T) {
@@ -76,6 +97,23 @@ func TestStepAllocFree(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("%v steady-state step allocates: %v allocs per 2000 references", d, allocs)
+			}
+		})
+		t.Run(d.String()+"/ff", func(t *testing.T) {
+			m := benchStepMachine(t, d)
+			warmSteps(t, m, 200_000)
+			// One priming span so the lazily allocated ffSave scratch and
+			// the organization's FastBegin state exist.
+			if err := m.FastForwardRefs(2_000); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := m.FastForwardRefs(2_000); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%v fast-forward allocates: %v allocs per 2000 references", d, allocs)
 			}
 		})
 	}

@@ -79,6 +79,12 @@ type Result struct {
 	References   uint64
 	KernelEvents uint64
 
+	// Sampled summarizes a SMARTS-style sampled run — window population,
+	// IPC mean ± CI95, fast/accurate reference split — and is nil on full
+	// runs. Like Epochs it never enters golden fingerprints: sampling is
+	// an estimator of the full run, not a different simulated behavior.
+	Sampled *SampledInfo
+
 	// Epochs is the epoch-resolved time series captured when a sampler
 	// was attached (nil otherwise): per-epoch counter deltas and gauges,
 	// oldest first. EpochsDropped counts epochs lost to the sampler's

@@ -18,6 +18,11 @@ func (m *Machine) Run(warmup, measure uint64) (*Result, error) {
 	if measure == 0 {
 		return nil, fmt.Errorf("system: measure phase must be positive")
 	}
+	// The phase target is the absolute instruction count warmup+measure;
+	// validate it before the sum can wrap to a tiny (or huge) target.
+	if warmup+measure < warmup {
+		return nil, fmt.Errorf("system: warmup+measure overflows uint64 (warmup=%d measure=%d)", warmup, measure)
+	}
 	if err := m.runPhase(warmup); err != nil {
 		return nil, err
 	}

@@ -108,6 +108,27 @@ func TestRunRequiresMeasure(t *testing.T) {
 	}
 }
 
+// TestRunRejectsOverflow guards the phase-target arithmetic: warmup+measure
+// is an absolute instruction count, and a wrapping sum would silently run a
+// tiny (or endless) measured phase instead of the requested one.
+func TestRunRejectsOverflow(t *testing.T) {
+	cfg := scaledConfig(config.NoL3, 6)
+	w, _ := SingleProgram("sphinx3", 6, 1)
+	m, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(^uint64(0), 2); err == nil {
+		t.Fatal("overflowing warmup+measure accepted")
+	}
+	if err := m.Warmup(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MeasureSampled(^uint64(0), SampleSpec{WindowRefs: 100, PeriodRefs: 1000}); err == nil {
+		t.Fatal("overflowing sampled measure accepted")
+	}
+}
+
 // TestHeadlineOrdering pins the paper's central claim at reduced budgets:
 // the tagless cache outperforms the SRAM-tag cache, both beat the NoL3
 // baseline, and Ideal bounds everything (Figure 7 shape, sphinx3).

@@ -223,6 +223,59 @@ func (t *TLB) HitRate() float64 {
 // ResetStats clears counters, keeping contents.
 func (t *TLB) ResetStats() { t.Accesses, t.Hits, t.Misses, t.Evictions = 0, 0, 0, 0 }
 
+// Counters snapshots the four statistics counters (for excluding a
+// fast-forwarded phase from measurement without losing warm contents).
+func (t *TLB) Counters() [4]uint64 {
+	return [4]uint64{t.Accesses, t.Hits, t.Misses, t.Evictions}
+}
+
+// SetCounters restores counters captured by Counters.
+func (t *TLB) SetCounters(v [4]uint64) {
+	t.Accesses, t.Hits, t.Misses, t.Evictions = v[0], v[1], v[2], v[3]
+}
+
+// State is a TLB's serializable state: contents, recency and counters.
+// Geometry comes from construction and is not part of the state.
+type State struct {
+	VPNs     []uint64
+	Frames   []uint64
+	NC       []bool
+	Used     []uint64
+	Tick     uint64
+	LastVPN  uint64
+	LastIdx  int
+	Counters [4]uint64
+}
+
+// State snapshots the TLB.
+func (t *TLB) State() State {
+	return State{
+		VPNs:     append([]uint64(nil), t.vpns...),
+		Frames:   append([]uint64(nil), t.frames...),
+		NC:       append([]bool(nil), t.nc...),
+		Used:     append([]uint64(nil), t.used...),
+		Tick:     t.tick,
+		LastVPN:  t.lastVPN,
+		LastIdx:  t.lastIdx,
+		Counters: t.Counters(),
+	}
+}
+
+// SetState restores a snapshot taken from an identically-configured TLB.
+func (t *TLB) SetState(st State) {
+	if len(st.VPNs) != len(t.vpns) {
+		panic(fmt.Sprintf("tlb: state geometry mismatch (%d vs %d slots)", len(st.VPNs), len(t.vpns)))
+	}
+	copy(t.vpns, st.VPNs)
+	copy(t.frames, st.Frames)
+	copy(t.nc, st.NC)
+	copy(t.used, st.Used)
+	t.tick = st.Tick
+	t.lastVPN = st.LastVPN
+	t.lastIdx = st.LastIdx
+	t.SetCounters(st.Counters)
+}
+
 // Hierarchy is one core's L1+L2 TLB pair, maintained inclusively: every L1
 // entry is also in L2, so a page leaves the core's TLB reach exactly when
 // it leaves L2. OnEvict (if set) fires at that moment — the tagless cache

@@ -15,7 +15,10 @@
 // a cold sequence (first touches; sequential for streaming programs).
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Access is one memory reference in a trace.
 type Access struct {
@@ -122,15 +125,26 @@ func min(a, b int) int {
 	return b
 }
 
+// gamma is splitmix64's state increment (also reused as a seed scrambler
+// and the cold-permutation base elsewhere in this package).
+const gamma = 0x9e3779b97f4a7c15
+
 // rng is a splitmix64 generator: tiny, fast, and deterministic across runs.
 type rng struct{ s uint64 }
 
-func (r *rng) next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
+// mix is splitmix64's output permutation: the value produced by a draw
+// whose post-increment state is z. Exposed separately so the fast-forward
+// path can evaluate individual draws at an offset from the current state
+// without stepping through the ones in between.
+func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.s += gamma
+	return mix(r.s)
 }
 
 // float returns a uniform float64 in [0, 1).
@@ -368,6 +382,184 @@ func (g *Generator) emit(gap int) Access {
 
 // Emitted returns the number of references produced so far.
 func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// Visit summarizes one whole page visit — the unit the functional
+// fast-forward path consumes. It aggregates the Blocks·(1+BlockRepeats)
+// references the per-reference path would emit one at a time, preserving
+// everything warm cache/TLB state depends on: the page, the touched block
+// range, per-block write bits and retired-instruction counts. The low
+// address bits and dependence flags of individual references are dropped;
+// caches are block-granular and the fast-forward path models no timing.
+type Visit struct {
+	Page       uint64 // virtual page number
+	FirstBlock int    // first 64B block index touched (0..63)
+	Blocks     int    // distinct blocks touched (1..64)
+	Refs       uint64 // references the visit stands for
+	Instr      uint64 // instructions retired across the visit (refs + gaps)
+	LowReuse   bool
+	Shared     bool
+	// AnyWrite bit j is set when any reference to block FirstBlock+j is a
+	// write (final L1 dirtiness); FirstWrite bit j when the block's first
+	// touch is a write — the only reference of the block that reaches the
+	// L2 on the per-reference path (repeats hit in L1).
+	AnyWrite   uint64
+	FirstWrite uint64
+}
+
+// AtVisitBoundary reports whether the next reference starts a new page
+// visit. These are the only points where the per-reference (Next) and
+// per-visit (NextVisit) streams may be interleaved.
+func (g *Generator) AtVisitBoundary() bool {
+	return g.blocksCut == 0 || (g.blocksCut == 1 && g.repeats == 0)
+}
+
+// NextVisit produces the next whole page visit, consuming exactly the
+// random draws the equivalent run of Next calls would, so a stream can
+// switch between per-reference and per-visit generation at any visit
+// boundary and continue bit-identically. Calling it mid-visit panics.
+func (g *Generator) NextVisit(v *Visit) {
+	if !g.AtVisitBoundary() {
+		panic("trace: NextVisit called mid-visit")
+	}
+	g.page, g.pageLow, g.pageShared = g.pickPage()
+	blocks := g.p.SpatialBlocks
+	if g.pageLow {
+		blocks = 1
+	}
+	first := g.r.intn(64 - blocks + 1)
+	reps := g.p.BlockRepeats
+	perBlock := 1 + reps
+	refs := blocks * perBlock
+
+	v.Page = g.page
+	v.FirstBlock = first
+	v.Blocks = blocks
+	v.Refs = uint64(refs)
+	v.Instr = uint64(blocks) * uint64(g.gapBase+1+2*reps)
+	v.LowReuse = g.pageLow
+	v.Shared = g.pageShared
+	v.AnyWrite, v.FirstWrite = 0, 0
+
+	// Each reference consumes three draws in emit order: address bits,
+	// write, dependent. Only the write draw is state-relevant (shared
+	// pages force writes off after drawing), so pull the write bits out of
+	// the stream positionally and skip the visit's draws in one step.
+	if !g.pageShared && g.p.WriteFraction > 0 {
+		d := uint64(gamma)
+		s := g.r.s + 2*d
+		// float64(u>>11)/2^53 < wf  ⟺  float64(u>>11) < wf·2^53: the
+		// division is exact (u>>11 < 2^53) and scaling wf by a power of
+		// two only shifts its exponent, so the hoisted threshold compare
+		// is bit-identical to the per-reference form — and free of the
+		// per-draw division.
+		thr := g.p.WriteFraction * float64(1<<53)
+		for j := 0; j < refs; j++ {
+			if float64(mix(s)>>11) < thr {
+				b := uint(j / perBlock)
+				v.AnyWrite |= 1 << b
+				if j%perBlock == 0 {
+					v.FirstWrite |= 1 << b
+				}
+			}
+			s += 3 * d
+		}
+	}
+	g.r.s += uint64(3*refs) * gamma
+
+	// Leave the generator exactly where the equivalent Next calls would:
+	// parked on the visit's last block with no repeats left.
+	g.blockIdx = first + blocks - 1
+	g.blocksCut = 1
+	g.repeats = 0
+	g.emitted += uint64(refs)
+}
+
+// GenState is a Generator's serializable per-thread state. The profile,
+// gap and cold-permutation constants are derived from construction inputs
+// and are not part of the state.
+type GenState struct {
+	RNG        uint64
+	Page       uint64
+	PageLow    bool
+	PageShared bool
+	BlockIdx   int
+	BlocksCut  int
+	Repeats    int
+	Emitted    uint64
+}
+
+// State snapshots the generator's per-thread state.
+func (g *Generator) State() GenState {
+	return GenState{
+		RNG:        g.r.s,
+		Page:       g.page,
+		PageLow:    g.pageLow,
+		PageShared: g.pageShared,
+		BlockIdx:   g.blockIdx,
+		BlocksCut:  g.blocksCut,
+		Repeats:    g.repeats,
+		Emitted:    g.emitted,
+	}
+}
+
+// SetState restores a snapshot taken from an identically-constructed
+// generator (same profile, thread index and seed).
+func (g *Generator) SetState(st GenState) {
+	g.r.s = st.RNG
+	g.page = st.Page
+	g.pageLow = st.PageLow
+	g.pageShared = st.PageShared
+	g.blockIdx = st.BlockIdx
+	g.blocksCut = st.BlocksCut
+	g.repeats = st.Repeats
+	g.emitted = st.Emitted
+}
+
+// SharedState is a thread group's serializable shared state. LowReuse is
+// kept sorted so snapshots of equal state are byte-identical.
+type SharedState struct {
+	Hot      []uint64
+	HotNext  int
+	Cold     uint64
+	SingNext uint64
+	LowReuse []uint64
+}
+
+// SharedState snapshots the state this generator's thread group shares.
+func (g *Generator) SharedState() SharedState {
+	sh := g.sh
+	st := SharedState{
+		Hot:      append([]uint64(nil), sh.hot...),
+		HotNext:  sh.hotNext,
+		Cold:     sh.cold,
+		SingNext: sh.singNext,
+		LowReuse: make([]uint64, 0, len(sh.lowReuse)),
+	}
+	for vpn := range sh.lowReuse {
+		st.LowReuse = append(st.LowReuse, vpn)
+	}
+	sort.Slice(st.LowReuse, func(i, j int) bool { return st.LowReuse[i] < st.LowReuse[j] })
+	return st
+}
+
+// SetSharedState restores the thread group's shared state. Restoring
+// through any group member updates every thread of the group.
+func (g *Generator) SetSharedState(st SharedState) {
+	sh := g.sh
+	sh.hot = make([]uint64, len(st.Hot), sh.profile.HotPages)
+	copy(sh.hot, st.Hot)
+	sh.hotNext = st.HotNext
+	sh.cold = st.Cold
+	sh.singNext = st.SingNext
+	sh.lowReuse = make(map[uint64]bool, len(st.LowReuse))
+	for _, vpn := range st.LowReuse {
+		sh.lowReuse[vpn] = true
+	}
+}
+
+// SharesGroup reports whether two generators belong to the same thread
+// group (and therefore share one SharedState).
+func (g *Generator) SharesGroup(o *Generator) bool { return g.sh == o.sh }
 
 // LowReusePages returns a snapshot of pages currently classified as
 // low-reuse by the offline-profile oracle.

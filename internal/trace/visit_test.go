@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// visitProfiles exercises the generator corners the visit path must match:
+// repeats, streaming, shared/singleton regions, single-block visits and a
+// write-free stream.
+func visitProfiles() []Profile {
+	base := testProfile()
+	shared := base
+	shared.Name = "shared"
+	shared.SharedFrac = 0.2
+	streaming := base
+	streaming.Name = "streaming"
+	streaming.Streaming = true
+	streaming.BlockRepeats = 0
+	oneBlock := base
+	oneBlock.Name = "oneblock"
+	oneBlock.SpatialBlocks = 1
+	readOnly := base
+	readOnly.Name = "readonly"
+	readOnly.WriteFraction = 0
+	dense := base
+	dense.Name = "dense"
+	dense.SpatialBlocks = 64
+	dense.BlockRepeats = 3
+	return []Profile{base, shared, streaming, oneBlock, readOnly, dense}
+}
+
+// nextVisitRef collects one whole page visit from the per-reference stream.
+func nextVisitRef(g *Generator) Visit {
+	var v Visit
+	firstSeen := map[int]bool{}
+	for {
+		a := g.Next()
+		block := int(a.VAddr>>6) & 63
+		if v.Refs == 0 {
+			v.Page = a.VAddr >> 12
+			v.FirstBlock = block
+			v.LowReuse = a.LowReuse
+			v.Shared = a.Shared
+		}
+		if block-v.FirstBlock+1 > v.Blocks {
+			v.Blocks = block - v.FirstBlock + 1
+		}
+		if a.Write {
+			v.AnyWrite |= 1 << uint(block-v.FirstBlock)
+			if !firstSeen[block] {
+				v.FirstWrite |= 1 << uint(block-v.FirstBlock)
+			}
+		}
+		firstSeen[block] = true
+		v.Refs++
+		v.Instr += uint64(a.Gap) + 1
+		if g.AtVisitBoundary() {
+			return v
+		}
+	}
+}
+
+func TestNextVisitMatchesNextLoop(t *testing.T) {
+	for _, p := range visitProfiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			ref := NewGenerator(p, 42)
+			fast := NewGenerator(p, 42)
+			var v Visit
+			for i := 0; i < 5000; i++ {
+				want := nextVisitRef(ref)
+				fast.NextVisit(&v)
+				if !reflect.DeepEqual(want, v) {
+					t.Fatalf("visit %d: per-ref %+v vs visit %+v", i, want, v)
+				}
+				if ref.Emitted() != fast.Emitted() {
+					t.Fatalf("visit %d: emitted %d vs %d", i, ref.Emitted(), fast.Emitted())
+				}
+			}
+			// The streams must stay interchangeable after the switch.
+			for i := 0; i < 10000; i++ {
+				a, b := ref.Next(), fast.Next()
+				if a != b {
+					t.Fatalf("streams diverge %d refs after visits: %+v vs %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestNextVisitInterleavesWithNext(t *testing.T) {
+	p := testProfile()
+	p.SharedFrac = 0.1
+	ref := NewGenerator(p, 7)
+	mixed := NewGenerator(p, 7)
+	var v Visit
+	for i := 0; i < 3000; i++ {
+		want := nextVisitRef(ref)
+		if i%2 == 0 {
+			mixed.NextVisit(&v)
+			if !reflect.DeepEqual(want, v) {
+				t.Fatalf("visit %d mismatch: %+v vs %+v", i, want, v)
+			}
+		} else {
+			got := nextVisitRef(mixed)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("visit %d mismatch: %+v vs %+v", i, want, got)
+			}
+		}
+	}
+}
+
+func TestNextVisitThreadGroup(t *testing.T) {
+	p := testProfile()
+	p.SharedFrac = 0.05
+	mk := func() []*Generator {
+		gs, err := NewThreadGroup(p, 4, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gs
+	}
+	ref, fast := mk(), mk()
+	var v Visit
+	// Round-robin across threads keeps the shared-state mutation order
+	// identical between the two groups.
+	for i := 0; i < 4000; i++ {
+		want := nextVisitRef(ref[i%4])
+		fast[i%4].NextVisit(&v)
+		if !reflect.DeepEqual(want, v) {
+			t.Fatalf("visit %d thread %d: %+v vs %+v", i, i%4, want, v)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		a, b := ref[i%4].Next(), fast[i%4].Next()
+		if a != b {
+			t.Fatalf("thread %d diverges after visits: %+v vs %+v", i%4, a, b)
+		}
+	}
+}
+
+func TestNextVisitMidVisitPanics(t *testing.T) {
+	g := NewGenerator(testProfile(), 1)
+	g.Next() // mid-visit: SpatialBlocks > 1
+	if g.AtVisitBoundary() {
+		t.Fatal("generator unexpectedly at a boundary after one ref")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextVisit mid-visit did not panic")
+		}
+	}()
+	var v Visit
+	g.NextVisit(&v)
+}
+
+func TestGenStateRoundTrip(t *testing.T) {
+	p := testProfile()
+	p.SharedFrac = 0.1
+	g := NewGenerator(p, 3)
+	for i := 0; i < 12345; i++ {
+		g.Next()
+	}
+	st, sst := g.State(), g.SharedState()
+
+	twin := NewGenerator(p, 3)
+	twin.SetState(st)
+	twin.SetSharedState(sst)
+	for i := 0; i < 20000; i++ {
+		a, b := g.Next(), twin.Next()
+		if a != b {
+			t.Fatalf("restored stream diverges at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if g.Emitted() != twin.Emitted() {
+		t.Fatalf("emitted %d vs %d", g.Emitted(), twin.Emitted())
+	}
+}

@@ -42,7 +42,9 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 		// sinks and trace writers would interleave across workers: the
 		// sweep-level MetricsSink (called in submission order after the
 		// sweep) is the structured-export channel, and event tracing is
-		// a single-run affair.
+		// a single-run affair. A shared Checkpoints store deliberately
+		// passes through: it is mutex-protected, and sweeps are exactly
+		// where pre-warming once per (workload, config, warm-up) pays off.
 		j.Options.Progress = nil
 		j.Options.MetricsSink = nil
 		j.Options.TraceEvents = nil

@@ -155,6 +155,28 @@ type Options struct {
 	TraceEvents io.Writer
 	// TraceEventLimit bounds the trace window (0 = sim.DefaultTraceLimit).
 	TraceEventLimit int
+	// Sample enables SMARTS-style sampled simulation: short cycle-accurate
+	// measurement windows with functional fast-forward covering the gaps.
+	// The Result's counters cover only the accurate windows and
+	// Result.Sampled carries the IPC estimate ± CI95. Nil (the default)
+	// runs every reference cycle-accurately.
+	Sample *SampleSpec
+	// CheckpointSave writes the machine's post-warmup state to this file
+	// before the measured phase, for later reuse via CheckpointLoad.
+	// Any checkpoint option switches the run to the Warmup/Measure pair,
+	// which quiesces the event kernel at the phase boundary (in-flight
+	// events have no serialized form), so checkpointed results are
+	// byte-identical to each other but not to a plain Run.
+	CheckpointSave string
+	// CheckpointLoad restores post-warmup state from this file instead of
+	// running the warm-up phase. The machine configuration and workload
+	// must match the saving run exactly.
+	CheckpointLoad string
+	// Checkpoints, when non-nil, is a shared in-memory warm-state store:
+	// sweeps warm each (workload, configuration, warm-up, seed)
+	// combination once and every later matching job skips straight to the
+	// measured phase. Safe for concurrent workers.
+	Checkpoints *CheckpointStore
 }
 
 // DefaultOptions returns the experiments' standard scale: 64× shrink,
@@ -252,7 +274,7 @@ func Run(design Design, workload string, o Options) (*Result, error) {
 		o.Warmup = o.Measure
 	}
 	start := time.Now()
-	r, err := m.Run(o.Warmup, o.Measure)
+	r, err := runMachine(m, cfg, workload, o)
 	if err == nil && tracer != nil {
 		if werr := tracer.WriteJSON(o.TraceEvents); werr != nil {
 			return r, fmt.Errorf("taglessdram: writing trace events: %w", werr)
@@ -309,6 +331,14 @@ func (o Options) Validate() error {
 	}
 	if o.TraceEventLimit < 0 {
 		return fmt.Errorf("taglessdram: TraceEventLimit must be non-negative, got %d", o.TraceEventLimit)
+	}
+	if o.Sample != nil {
+		if err := o.Sample.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.CheckpointSave != "" && o.CheckpointLoad != "" {
+		return fmt.Errorf("taglessdram: CheckpointSave and CheckpointLoad are mutually exclusive")
 	}
 	return nil
 }
