@@ -1,0 +1,195 @@
+package taglessdram
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"taglessdram/internal/config"
+)
+
+// TestOptionsFieldsClassified is the stale-hit firewall: every exported
+// Options field must be classified as semantic (hashed into the cache
+// key) or non-semantic (ignored), in exactly one of the two sets. Adding
+// an Options field without classifying it fails this test, so a new
+// result-affecting knob can never silently alias two different runs onto
+// one cache entry.
+func TestOptionsFieldsClassified(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	seen := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		seen[f.Name] = true
+		sem, non := semanticOptionFields[f.Name], nonSemanticOptionFields[f.Name]
+		switch {
+		case sem && non:
+			t.Errorf("Options.%s classified both semantic and non-semantic", f.Name)
+		case !sem && !non:
+			t.Errorf("Options.%s unclassified: add it to semanticOptionFields (it can change a Result) or nonSemanticOptionFields (it never can) in canonical.go", f.Name)
+		}
+	}
+	for name := range semanticOptionFields {
+		if !seen[name] {
+			t.Errorf("semanticOptionFields lists %q, which is not an exported Options field", name)
+		}
+	}
+	for name := range nonSemanticOptionFields {
+		if !seen[name] {
+			t.Errorf("nonSemanticOptionFields lists %q, which is not an exported Options field", name)
+		}
+	}
+}
+
+// TestCanonicalCoversExactlySemanticFields mutates every exported
+// Options field and asserts Canonical() changes exactly for the
+// semantic ones — i.e. the classification tables and the canonical
+// encoder cannot drift apart.
+func TestCanonicalCoversExactlySemanticFields(t *testing.T) {
+	base := DefaultOptions()
+	baseCanon := base.Canonical()
+	typ := reflect.TypeOf(Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		o := base
+		fv := reflect.ValueOf(&o).Elem().Field(i)
+		if !mutateField(fv) {
+			t.Errorf("Options.%s: no mutation rule for kind %v — extend mutateField", f.Name, fv.Kind())
+			continue
+		}
+		got := o.Canonical()
+		switch {
+		case semanticOptionFields[f.Name] && got == baseCanon:
+			t.Errorf("Options.%s is classified semantic but Canonical() ignores it", f.Name)
+		case nonSemanticOptionFields[f.Name] && got != baseCanon:
+			t.Errorf("Options.%s is classified non-semantic but changes Canonical():\n got: %s\nbase: %s", f.Name, got, baseCanon)
+		}
+	}
+}
+
+// mutateField sets v to a value different from its current one, covering
+// every kind Options uses. Returns false for kinds it cannot mutate.
+func mutateField(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1)
+	case reflect.String:
+		v.SetString(v.String() + "mutated")
+	case reflect.Ptr:
+		v.Set(reflect.New(v.Type().Elem()))
+	case reflect.Slice:
+		v.Set(reflect.MakeSlice(v.Type(), 1, 1))
+	case reflect.Func:
+		v.Set(reflect.MakeFunc(v.Type(), func(args []reflect.Value) []reflect.Value {
+			out := make([]reflect.Value, 0, v.Type().NumOut())
+			for i := 0; i < v.Type().NumOut(); i++ {
+				out = append(out, reflect.Zero(v.Type().Out(i)))
+			}
+			return out
+		}))
+	case reflect.Interface:
+		if !reflect.TypeOf(&bytes.Buffer{}).Implements(v.Type()) {
+			return false
+		}
+		v.Set(reflect.ValueOf(&bytes.Buffer{}))
+	default:
+		return false
+	}
+	return true
+}
+
+// TestConfigFieldsCanonical walks the resolved SystemConfig recursively
+// and asserts every field is a plain value kind. The cache preimage
+// embeds the whole config via %+v, which is deterministic exactly when
+// the struct holds no pointers, slices, maps, funcs, channels or
+// interfaces — a future reference-typed config field fails here until
+// the preimage learns to canonicalize it.
+func TestConfigFieldsCanonical(t *testing.T) {
+	var check func(typ reflect.Type, path string)
+	check = func(typ reflect.Type, path string) {
+		switch typ.Kind() {
+		case reflect.Bool,
+			reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64, reflect.String:
+			return
+		case reflect.Array:
+			check(typ.Elem(), path+"[]")
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				check(f.Type, path+"."+f.Name)
+			}
+		default:
+			t.Errorf("%s has kind %v: not a plain value, so %%+v of SystemConfig is no longer a sound canonical encoding — teach Job.preimage to canonicalize it", path, typ.Kind())
+		}
+	}
+	check(reflect.TypeOf(config.SystemConfig{}), "SystemConfig")
+
+	if k := reflect.TypeOf(Design(0)).Kind(); k != reflect.Int {
+		t.Errorf("Design kind = %v, want plain int (the preimage renders it numerically)", k)
+	}
+}
+
+// TestPreimageContents pins the auditable structure of the canonical
+// preimage: versions, design, workload, trace digest, options and the
+// resolved config all present; the quiesced bit tracking the checkpoint
+// execution path.
+func TestPreimageContents(t *testing.T) {
+	o := DefaultOptions()
+	j := Job{Design: Tagless, Workload: "sphinx3", Options: o}
+	pre, err := j.preimage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"taglessdram result-cache preimage v1",
+		"model=1",
+		"design=3(cTLB)",
+		`workload="sphinx3"`,
+		"trace=",
+		"Quiesced=false",
+		"config={CPU:",
+	} {
+		if !strings.Contains(pre, want) {
+			t.Errorf("preimage missing %q:\n%s", want, pre)
+		}
+	}
+
+	j.Options.Checkpoints = NewCheckpointStore()
+	qpre, err := j.preimage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qpre, "Quiesced=true") {
+		t.Errorf("Checkpoints store should set Quiesced=true:\n%s", qpre)
+	}
+	if qpre == pre {
+		t.Errorf("quiesced and plain runs must not share a preimage")
+	}
+
+	if (Options{CheckpointSave: "x"}).cacheable() {
+		t.Errorf("CheckpointSave runs must bypass the cache")
+	}
+	if (Options{CheckpointLoad: "x"}).cacheable() {
+		t.Errorf("CheckpointLoad runs must bypass the cache")
+	}
+	if (Options{TraceEvents: &bytes.Buffer{}}).cacheable() {
+		t.Errorf("trace-requesting runs must bypass the cache")
+	}
+	if !(Options{Checkpoints: NewCheckpointStore()}).cacheable() {
+		t.Errorf("in-memory checkpoint stores are deterministic and must stay cacheable")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"taglessdram"
 	"taglessdram/internal/config"
 	"taglessdram/internal/stats"
 	"taglessdram/internal/system"
@@ -42,6 +43,73 @@ type report struct {
 	Reps       int            `json:"reps"`
 	Note       string         `json:"note"`
 	Designs    []designReport `json:"designs"`
+	// Cache is present when -cache-stats is set: the result cache's
+	// cold-store vs warm-replay timing for one reference run.
+	Cache *cacheReport `json:"result_cache,omitempty"`
+}
+
+// cacheReport meters the result cache end to end: one cold Run that
+// simulates and stores, then best-of-reps warm Runs replaying the entry.
+type cacheReport struct {
+	Workload string  `json:"workload"`
+	Design   string  `json:"design"`
+	Refs     uint64  `json:"refs"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Stored   uint64  `json:"stored"`
+	ColdMs   float64 `json:"cold_ms"`
+	WarmMs   float64 `json:"warm_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// meterCache times a cold (simulate + store) vs warm (replay) Run of the
+// benchmark rig's workload against a throwaway store.
+func meterCache(reps int) (*cacheReport, error) {
+	dir, err := os.MkdirTemp("", "benchstep-rcache-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := taglessdram.OpenResultCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	o := taglessdram.DefaultOptions()
+	o.Warmup, o.Measure = 200_000, 200_000
+	o.ResultCache = store
+
+	start := time.Now()
+	r, err := taglessdram.Run(taglessdram.Tagless, "libquantum", o)
+	if err != nil {
+		return nil, err
+	}
+	cold := time.Since(start)
+
+	warm := time.Duration(0)
+	for rep := 0; rep < reps; rep++ {
+		start = time.Now()
+		if _, err := taglessdram.Run(taglessdram.Tagless, "libquantum", o); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); rep == 0 || d < warm {
+			warm = d
+		}
+	}
+	st := store.Stats()
+	cr := &cacheReport{
+		Workload: "libquantum",
+		Design:   taglessdram.Tagless.String(),
+		Refs:     r.References,
+		Hits:     st.Hits,
+		Misses:   st.Misses,
+		Stored:   st.Stored,
+		ColdMs:   float64(cold.Nanoseconds()) / 1e6,
+		WarmMs:   float64(warm.Nanoseconds()) / 1e6,
+	}
+	if warm > 0 {
+		cr.Speedup = float64(cold) / float64(warm)
+	}
+	return cr, nil
 }
 
 // latChunks is how many timing chunks each repetition is split into for
@@ -169,6 +237,7 @@ func main() {
 	refs := flag.Int("n", 1_000_000, "references per repetition")
 	reps := flag.Int("reps", 5, "repetitions per design (best-of)")
 	warm := flag.Int("warm", 100_000, "warm-up references before timing")
+	cacheStats := flag.Bool("cache-stats", false, "also meter the result cache (cold simulate+store vs best-of-reps warm replay) and add the counters to the report")
 	flag.Parse()
 
 	r := report{
@@ -197,6 +266,17 @@ func main() {
 			dr.Design, dr.NsPerRef, dr.AllocsPerRef, ldr.P50NsRef, ldr.P99NsRef, dr.FFNsPerRef, dr.FFSpeedup)
 		r.Designs = append(r.Designs, dr)
 		lr.Designs = append(lr.Designs, ldr)
+	}
+
+	if *cacheStats {
+		cr, err := meterCache(*reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchstep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "result cache: %s/%s %d refs: cold %.1f ms, warm %.3f ms (%.0fx), hits=%d misses=%d stored=%d\n",
+			cr.Workload, cr.Design, cr.Refs, cr.ColdMs, cr.WarmMs, cr.Speedup, cr.Hits, cr.Misses, cr.Stored)
+		r.Cache = cr
 	}
 
 	if err := writeJSON(*out, r); err != nil {

@@ -33,6 +33,7 @@ func main() {
 		extra = flag.Bool("baselines", false, "add the extra organizations (Alloy, Banshee) to the design-comparison figures")
 
 		metrics = flag.String("metrics-json", "", "append every run's metric registry and epoch series as JSON lines to this file (byte-identical at any -j)")
+		rcache  = flag.String("result-cache", "", "persistent content-addressed result cache directory: completed runs are replayed byte-identically instead of re-simulated; editing one configuration re-simulates only its cells")
 		epoch   = flag.Uint64("epoch-refs", 0, "epoch length in measured references for time-series sampling (0 = off)")
 		prewarm = flag.Bool("prewarm", false, "share warm-state checkpoints across figures: each (workload, config, warm-up) warms up once and later runs restore it (results use the checkpointed Warmup/Measure path, so they differ slightly from the default)")
 	)
@@ -50,10 +51,24 @@ func main() {
 	o := taglessdram.DefaultOptions()
 	o.Seed = *seed
 	o.Workers = *nj
+	var store *taglessdram.ResultCache
+	if *rcache != "" {
+		store, err = taglessdram.OpenResultCache(*rcache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		o.ResultCache = store
+	}
 	if *prog {
 		o.Progress = func(p taglessdram.SweepProgress) {
-			fmt.Fprintf(os.Stderr, "\r  %d/%d sims (elapsed %s, eta %s)   ",
-				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			cache := ""
+			if store != nil {
+				st := store.Stats()
+				cache = fmt.Sprintf(", cache %d hit/%d miss/%d stored", st.Hits, st.Misses, st.Stored)
+			}
+			fmt.Fprintf(os.Stderr, "\r  %d/%d sims (elapsed %s, eta %s%s)   ",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second), cache)
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
@@ -132,6 +147,12 @@ func main() {
 	run("fairness", func() error { return fairness(o) })
 	run("amat", func() error { return amatCheck(o) })
 	run("latency", func() error { return latencyBreakdown(o) })
+
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "result cache: hits=%d misses=%d stored=%d evicted=%d\n",
+			st.Hits, st.Misses, st.Stored, st.Evicted)
+	}
 }
 
 func table6() error {

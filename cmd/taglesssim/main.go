@@ -49,6 +49,7 @@ func main() {
 		sampleWarm   = flag.Uint64("sample-warm", 0, "SMARTS sampling: detailed-warming references before each window (accurate but unmeasured)")
 		ckptSave     = flag.String("checkpoint-save", "", "write the post-warmup machine state to this file before measuring")
 		ckptLoad     = flag.String("checkpoint-load", "", "restore post-warmup state from this file instead of warming up (config and workload must match)")
+		rcache       = flag.String("result-cache", "", "persistent content-addressed result cache directory: an identical completed run is replayed byte-identically instead of re-simulated")
 	)
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -98,6 +99,14 @@ func main() {
 	}
 	o.CheckpointSave = *ckptSave
 	o.CheckpointLoad = *ckptLoad
+	var store *taglessdram.ResultCache
+	if *rcache != "" {
+		store, err = taglessdram.OpenResultCache(*rcache)
+		if err != nil {
+			fatal(err)
+		}
+		o.ResultCache = store
+	}
 	var traceFile *os.File
 	if *traceOut != "" {
 		traceFile, err = os.Create(*traceOut)
@@ -114,6 +123,13 @@ func main() {
 	r, err := taglessdram.Run(d, *workload, o)
 	if err != nil {
 		fatal(err)
+	}
+	if store != nil {
+		// Stderr, not stdout: the printed result must stay byte-identical
+		// whether it was simulated or replayed.
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "result cache:    hits=%d misses=%d stored=%d evicted=%d (%s)\n",
+			st.Hits, st.Misses, st.Stored, st.Evicted, store.Dir())
 	}
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {

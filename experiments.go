@@ -590,7 +590,9 @@ func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow,
 		{"cTLB (PA->CA alias table)", Tagless, true},
 	}
 	// These runs need a modified workload (per-core shared fractions), so
-	// they go straight to the generic engine rather than through Job/Run.
+	// they go straight to the generic engine rather than through Job/Run —
+	// runWorkload still gives them result-cache read-through, since the
+	// trace digest covers the modified per-core profiles.
 	res, err := sweep.Run(context.Background(), variants, func(_ context.Context, v variant) (*Result, error) {
 		w, err := system.Mix(mix, o.Shift, o.Seed)
 		if err != nil {
@@ -601,20 +603,7 @@ func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow,
 		}
 		oo := o
 		oo.SharedAliasTable = v.alias
-		cfg := configFor(v.design, oo)
-		m, err := system.New(cfg, w)
-		if err != nil {
-			return nil, err
-		}
-		warm := oo.Warmup
-		if warm == 0 {
-			warm = oo.Measure
-		}
-		r, err := m.Run(warm, oo.Measure)
-		if err != nil {
-			return nil, fmt.Errorf("shared-page study %s: %w", v.name, err)
-		}
-		return r, nil
+		return runWorkload(v.design, fmt.Sprintf("shared-page study %s", v.name), w, oo)
 	}, o.sweepOptions())
 	if err != nil {
 		return nil, err
@@ -838,20 +827,9 @@ func RunFairness(o Options, mix string) ([]FairnessRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := configFor(j.design, o)
-		m, err := system.New(cfg, w)
-		if err != nil {
-			return nil, err
-		}
-		warm := o.Warmup
-		if warm == 0 {
-			warm = o.Measure
-		}
-		r, err := m.Run(warm, o.Measure)
-		if err != nil {
-			return nil, fmt.Errorf("%s alone/%v: %w", j.prog, j.design, err)
-		}
-		return r, nil
+		// One-core workloads aren't name-resolvable, so they use
+		// runWorkload: same generic engine, same cache read-through.
+		return runWorkload(j.design, fmt.Sprintf("%s alone/%v", j.prog, j.design), w, o)
 	}, o.sweepOptions())
 	if err != nil {
 		return nil, err

@@ -16,6 +16,8 @@
 package lat
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"math/bits"
 
@@ -209,6 +211,36 @@ func (h *Hist) Rows() []BucketRow {
 
 // Reset discards all samples.
 func (h *Hist) Reset() { *h = Hist{} }
+
+// histWire is Hist's serialized image. The struct's own fields are
+// unexported (fixed-size value storage for the alloc-free hot path), so
+// gob needs this explicit form; it is what the persistent result cache
+// stores for the latency tail metrics.
+type histWire struct {
+	Counts [NumBuckets]uint64
+	Total  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (h *Hist) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(histWire{
+		Counts: h.counts, Total: h.total, Sum: h.sum, Max: h.max,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Hist) GobDecode(data []byte) error {
+	var w histWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	h.counts, h.total, h.sum, h.max = w.Counts, w.Total, w.Sum, w.Max
+	return nil
+}
 
 // Breakdown accumulates attributed cycles per component over many
 // committed scopes, together with the conservation bookkeeping.

@@ -1,0 +1,290 @@
+// Package resultcache is a persistent, content-addressed store of
+// completed simulation results. Every run of this simulator is
+// bit-reproducible (the golden fingerprints and the -j1/-j4 output diffs
+// pin that), so a Result can be keyed by a cryptographic fingerprint of
+// the job's semantic identity — full resolved configuration, workload,
+// seeds, sampling parameters, model version — and replayed instead of
+// re-simulated. A design-space sweep re-run after touching one
+// organization then simulates only that organization's cells; everything
+// else is a cache hit.
+//
+// Reliability contract:
+//
+//   - Entries are written atomically (temp file + rename), so a crashed
+//     or concurrent writer can never leave a half-written entry under a
+//     live key. Two writers racing on one key both write identical bytes
+//     (the simulation is deterministic); last rename wins.
+//   - Every entry carries a format version, its own key, the key's
+//     canonical preimage (for auditability), and a checksum of the
+//     payload. Corrupt, truncated, version-mismatched or mis-keyed
+//     entries are treated as misses and evicted — never surfaced as
+//     errors, because the cache must always be allowed to fall back to
+//     simulating.
+//
+// The package also provides Flight, an in-process single-flight memo
+// that deduplicates identical jobs inside one sweep, and Clone, the
+// gob round-trip used to hand deduplicated callers their own copy.
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"taglessdram/internal/system"
+)
+
+// Key is the content address of one cached result: the SHA-256 digest of
+// the job's canonical preimage.
+type Key [sha256.Size]byte
+
+// KeyOf hashes a canonical preimage into its content address.
+func KeyOf(preimage string) Key { return sha256.Sum256([]byte(preimage)) }
+
+// String renders the key as lowercase hex (also the entry's file name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// entryFormat versions the on-disk envelope layout. A mismatch means the
+// entry was written by an incompatible build and is evicted as a miss.
+const entryFormat = 1
+
+// envelope is the on-disk form of one entry. Payload is the gob-encoded
+// system.Result; Sum is its SHA-256, verified on every load. Preimage is
+// the human-readable canonical job identity the key was hashed from, so
+// an entry can always be audited against the job it claims to answer.
+type envelope struct {
+	Format   int
+	Key      string
+	Preimage string
+	Sum      [sha256.Size]byte
+	Payload  []byte
+}
+
+// Stats are a store's lifetime counters (monotonic, safe to read
+// concurrently with cache traffic).
+type Stats struct {
+	Hits    uint64 // Get found a valid entry
+	Misses  uint64 // Get found nothing usable
+	Stored  uint64 // Put wrote an entry
+	Evicted uint64 // corrupt/mismatched entries removed during Get
+}
+
+// Store is a directory-backed result cache. Safe for concurrent use by
+// any number of goroutines and processes.
+type Store struct {
+	dir string
+
+	hits, misses, stored, evicted atomic.Uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Stored:  s.stored.Load(),
+		Evicted: s.evicted.Load(),
+	}
+}
+
+func (s *Store) path(key Key) string {
+	return filepath.Join(s.dir, key.String()+".res")
+}
+
+// Get loads the result stored under key. A missing, corrupt, truncated,
+// version-mismatched or mis-keyed entry is a miss (corrupt entries are
+// also evicted so the slot heals on the next Put); Get never returns an
+// error because the caller can always fall back to simulating.
+func (s *Store) Get(key Key) (*system.Result, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	r, err := decodeEntry(key, data)
+	if err != nil {
+		// Unusable entry: evict it so a fresh Put replaces it, and treat
+		// the lookup as a miss.
+		if rmErr := os.Remove(s.path(key)); rmErr == nil {
+			s.evicted.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return r, true
+}
+
+// decodeEntry validates one on-disk envelope against the key it was
+// looked up under and decodes its Result.
+func decodeEntry(key Key, data []byte) (*system.Result, error) {
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("resultcache: envelope: %w", err)
+	}
+	if e.Format != entryFormat {
+		return nil, fmt.Errorf("resultcache: entry format %d, want %d", e.Format, entryFormat)
+	}
+	if e.Key != key.String() {
+		return nil, fmt.Errorf("resultcache: entry keyed %s under %s", e.Key, key)
+	}
+	if sha256.Sum256(e.Payload) != e.Sum {
+		return nil, fmt.Errorf("resultcache: payload checksum mismatch")
+	}
+	return decodeResult(e.Payload)
+}
+
+// Put stores a result under key, recording the canonical preimage the
+// key was derived from. The write is atomic: concurrent readers either
+// see the complete new entry or whatever was there before.
+func (s *Store) Put(key Key, preimage string, r *system.Result) error {
+	payload, err := encodeResult(r)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(envelope{
+		Format:   entryFormat,
+		Key:      key.String(),
+		Preimage: preimage,
+		Sum:      sha256.Sum256(payload),
+		Payload:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	s.stored.Add(1)
+	return nil
+}
+
+// Preimage returns the stored canonical preimage of an entry, for
+// auditing what job identity a cached result answers.
+func (s *Store) Preimage(key Key) (string, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return "", false
+	}
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return "", false
+	}
+	return e.Preimage, true
+}
+
+// Len counts the entries currently on disk.
+func (s *Store) Len() int {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.res"))
+	if err != nil {
+		return 0
+	}
+	return len(matches)
+}
+
+// encodeResult/decodeResult are the payload codec: plain gob of the
+// Result value. Every field of system.Result (and its nested metric
+// types) either exports its state or, like lat.Hist, implements the gob
+// interfaces, so the round trip is lossless — Clone and the hit path
+// both rely on that.
+func encodeResult(r *system.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeResult(payload []byte) (*system.Result, error) {
+	r := new(system.Result)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Clone deep-copies a result through the cache's own codec, so a cloned
+// result carries exactly what a cache hit would.
+func Clone(r *system.Result) (*system.Result, error) {
+	payload, err := encodeResult(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(payload)
+}
+
+// Flight deduplicates identical in-flight (and already-completed) jobs
+// within one sweep: the first caller of a key runs the function, every
+// later caller waits for (or immediately receives) the first caller's
+// outcome with shared=true. Completed calls stay memoized for the
+// Flight's lifetime, so serial sweeps deduplicate repeated cells too.
+// Callers that need a private copy of a shared result should Clone it.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[Key]*call
+}
+
+type call struct {
+	done chan struct{}
+	r    *system.Result
+	err  error
+}
+
+// NewFlight returns an empty single-flight memo.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[Key]*call)}
+}
+
+// Do runs fn under key, deduplicating against concurrent and past calls
+// with the same key. shared reports whether the returned result came
+// from another caller's execution.
+func (f *Flight) Do(key Key, fn func() (*system.Result, error)) (r *system.Result, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.r, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	defer close(c.done)
+	c.r, c.err = fn()
+	return c.r, false, c.err
+}

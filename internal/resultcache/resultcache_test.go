@@ -1,0 +1,268 @@
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+
+	"taglessdram/internal/system"
+)
+
+func sampleResult() *system.Result {
+	return &system.Result{
+		Workload:   "unit",
+		References: 12345,
+		Cycles:     67890,
+		PerCoreIPC: []float64{1.25, 0.75},
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	a, b := KeyOf("preimage-a"), KeyOf("preimage-b")
+	if a == b {
+		t.Fatal("distinct preimages share a key")
+	}
+	if a != KeyOf("preimage-a") {
+		t.Fatal("KeyOf not deterministic")
+	}
+	if len(a.String()) != 64 {
+		t.Fatalf("key hex %q not 64 chars", a)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("job-1")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := sampleResult()
+	if err := s.Put(key, "job-1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got == want {
+		t.Fatal("Get returned the stored pointer, not a decoded copy")
+	}
+	if got.Workload != want.Workload || got.References != want.References ||
+		got.Cycles != want.Cycles || len(got.PerCoreIPC) != 2 || got.PerCoreIPC[0] != 1.25 {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	if pre, ok := s.Preimage(key); !ok || pre != "job-1" {
+		t.Fatalf("Preimage = %q, %v; want job-1, true", pre, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if st := s.Stats(); st != (Stats{Hits: 1, Misses: 1, Stored: 1}) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+// rewriteEnvelope loads the entry under key, lets mutate edit the decoded
+// envelope, and writes it back — building precisely-damaged entries the
+// loader must reject.
+func rewriteEnvelope(t *testing.T, s *Store, key Key, mutate func(*envelope)) {
+	t.Helper()
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&e)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDamagedEntriesMissAndEvict(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*envelope)
+	}{
+		{"wrong-format", func(e *envelope) { e.Format = entryFormat + 1 }},
+		{"mis-keyed", func(e *envelope) { e.Key = KeyOf("some other job").String() }},
+		{"checksum-mismatch", func(e *envelope) { e.Payload[0] ^= 0xff }},
+		{"payload-garbage", func(e *envelope) {
+			e.Payload = []byte("junk")
+			e.Sum = sha256.Sum256(e.Payload) // matching checksum, undecodable payload
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := KeyOf("job")
+			if err := s.Put(key, "job", sampleResult()); err != nil {
+				t.Fatal(err)
+			}
+			rewriteEnvelope(t, s, key, tc.mutate)
+
+			if _, ok := s.Get(key); ok {
+				t.Fatal("damaged entry served as a hit")
+			}
+			if s.Len() != 0 {
+				t.Fatal("damaged entry not evicted")
+			}
+			if st := s.Stats(); st.Evicted != 1 || st.Misses != 1 || st.Hits != 0 {
+				t.Fatalf("stats = %+v, want 1 eviction, 1 miss, 0 hits", st)
+			}
+			// The slot heals on the next Put.
+			if err := s.Put(key, "job", sampleResult()); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(key); !ok {
+				t.Fatal("miss after healing Put")
+			}
+		})
+	}
+}
+
+func TestRawCorruptionMissesAndEvicts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("job")
+	if err := s.Put(key, "job", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want the truncated entry evicted", st)
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := sampleResult()
+	c, err := Clone(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == orig {
+		t.Fatal("Clone returned the same pointer")
+	}
+	c.PerCoreIPC[0] = 99
+	if orig.PerCoreIPC[0] == 99 {
+		t.Fatal("Clone shares backing storage with the original")
+	}
+}
+
+func TestFlightDedupsConcurrentAndCompletedCalls(t *testing.T) {
+	f := NewFlight()
+	key := KeyOf("job")
+	var calls, shares int
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, shared, err := f.Do(key, func() (*system.Result, error) {
+				<-gate // hold the leader so every follower queues up
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return sampleResult(), nil
+			})
+			if err != nil || r == nil {
+				t.Errorf("Do: %v, %v", r, err)
+			}
+			if shared {
+				mu.Lock()
+				shares++
+				mu.Unlock()
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if shares != 7 {
+		t.Fatalf("%d callers reported shared, want 7", shares)
+	}
+
+	// Completed calls stay memoized: a later caller shares without running.
+	_, shared, err := f.Do(key, func() (*system.Result, error) {
+		t.Fatal("memoized key re-ran fn")
+		return nil, nil
+	})
+	if err != nil || !shared {
+		t.Fatalf("memoized Do = shared %t, err %v", shared, err)
+	}
+
+	// Errors memoize too, and distinct keys don't collide.
+	boom := errors.New("boom")
+	if _, _, err := f.Do(KeyOf("bad"), func() (*system.Result, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, shared, err := f.Do(KeyOf("bad"), func() (*system.Result, error) { return sampleResult(), nil }); !shared || err != boom {
+		t.Fatalf("memoized error call = shared %t, err %v", shared, err)
+	}
+}
+
+func TestConcurrentPutGetOneKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("contended")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := s.Put(key, "contended", sampleResult()); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if r, ok := s.Get(key); ok && r.References != 12345 {
+					t.Errorf("torn read: %+v", r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}

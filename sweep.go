@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"taglessdram/internal/resultcache"
 	"taglessdram/internal/sweep"
 )
 
@@ -33,8 +34,13 @@ func Sweep(ctx context.Context, jobs []Job, workers int) ([]*Result, error) {
 }
 
 // sweepRun maps Jobs onto the generic engine, tagging errors with the
-// failing (workload, design) pair.
+// failing (workload, design) pair. Identical jobs in one sweep are
+// deduplicated by fingerprint through a single-flight memo: the first
+// occurrence simulates (or hits the result cache) and every duplicate —
+// concurrent or later — receives a private clone of its Result instead
+// of re-simulating.
 func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, error) {
+	flight := resultcache.NewFlight()
 	return sweep.Run(ctx, jobs, func(_ context.Context, j Job) (*Result, error) {
 		// Per-run throughput summaries would arrive unserialized from
 		// worker goroutines; the sweep engine's own OnProgress is the
@@ -42,17 +48,36 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 		// sinks and trace writers would interleave across workers: the
 		// sweep-level MetricsSink (called in submission order after the
 		// sweep) is the structured-export channel, and event tracing is
-		// a single-run affair. A shared Checkpoints store deliberately
-		// passes through: it is mutex-protected, and sweeps are exactly
-		// where pre-warming once per (workload, config, warm-up) pays off.
+		// a single-run affair. Shared Checkpoints and ResultCache stores
+		// deliberately pass through: both are concurrency-safe, and
+		// sweeps are exactly where warm-once and replay-instead-of-rerun
+		// pay off.
 		j.Options.Progress = nil
 		j.Options.MetricsSink = nil
 		j.Options.TraceEvents = nil
-		r, err := Run(j.Design, j.Workload, j.Options)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)
+		run := func() (*Result, error) {
+			r, err := Run(j.Design, j.Workload, j.Options)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)
+			}
+			return r, nil
 		}
-		return r, nil
+		if !j.Options.cacheable() {
+			return run()
+		}
+		key, _, err := j.fingerprint()
+		if err != nil {
+			// Not fingerprintable (e.g. invalid options, unknown
+			// workload): fall through and let Run report the error.
+			return run()
+		}
+		r, shared, err := flight.Do(key, run)
+		if err != nil || !shared {
+			return r, err
+		}
+		// A shared result is owned by another job's slot; hand this job
+		// its own deep copy so the two Results stay independent.
+		return resultcache.Clone(r)
 	}, opt)
 }
 

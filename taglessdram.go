@@ -24,6 +24,7 @@ import (
 	"taglessdram/internal/config"
 	"taglessdram/internal/obs"
 	"taglessdram/internal/org"
+	"taglessdram/internal/resultcache"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/system"
 	"taglessdram/internal/trace"
@@ -177,6 +178,29 @@ type Options struct {
 	// combination once and every later matching job skips straight to the
 	// measured phase. Safe for concurrent workers.
 	Checkpoints *CheckpointStore
+	// ResultCache, when non-nil, is a persistent content-addressed store
+	// of completed Results: before simulating, Run looks up the job's
+	// fingerprint (Job.Fingerprint — model version, design, workload +
+	// trace digest, semantic options, resolved configuration) and replays
+	// a cached Result byte-identically instead of re-simulating; fresh
+	// results are stored for future runs. Sound because runs are
+	// bit-reproducible. Runs that load/save checkpoint files or request
+	// kernel-event traces bypass the cache. Safe for concurrent workers
+	// and processes sharing one directory.
+	ResultCache *ResultCache
+}
+
+// ResultCache is the persistent content-addressed result store (see
+// Options.ResultCache), re-exported from internal/resultcache.
+type ResultCache = resultcache.Store
+
+// CacheStats are a result cache's lifetime hit/miss/store counters.
+type CacheStats = resultcache.Stats
+
+// OpenResultCache creates (if needed) and opens a result cache rooted at
+// the given directory.
+func OpenResultCache(dir string) (*ResultCache, error) {
+	return resultcache.Open(dir)
 }
 
 // DefaultOptions returns the experiments' standard scale: 64× shrink,
@@ -249,9 +273,57 @@ func workloadFor(name string, o Options) (system.Workload, error) {
 }
 
 // Run simulates one (design, workload) pair and returns its metrics.
+// With Options.ResultCache set, a previously completed identical run is
+// replayed from the cache instead of re-simulated — byte-identically,
+// because every run is bit-reproducible.
 func Run(design Design, workload string, o Options) (*Result, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Measure
+	}
+	start := time.Now()
+	if o.ResultCache == nil || !o.cacheable() {
+		return simulate(design, workload, o, start)
+	}
+	key, pre, err := (Job{Design: design, Workload: workload, Options: o}).fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := o.ResultCache.Get(key); ok {
+		if o.MetricsSink != nil {
+			o.MetricsSink(r)
+		}
+		if o.Progress != nil {
+			o.Progress(SweepProgress{
+				Done: 1, Total: 1, Elapsed: time.Since(start),
+				Summary: fmt.Sprintf("%s/%v: result cache hit", workload, design),
+			})
+		}
+		return r, nil
+	}
+	r, err := simulate(design, workload, o, start)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.ResultCache.Put(key, pre, r); err != nil {
+		return r, fmt.Errorf("taglessdram: result cache: %w", err)
+	}
+	return r, nil
+}
+
+// simulateHook, when non-nil, observes every actual machine simulation.
+// Test-only: the result-cache and single-flight regression tests count
+// executions through it. Implementations must be safe for concurrent
+// calls from sweep workers.
+var simulateHook func(design Design, workload string)
+
+// simulate builds the machine and executes the run — the cache-oblivious
+// body of Run.
+func simulate(design Design, workload string, o Options, start time.Time) (*Result, error) {
+	if simulateHook != nil {
+		simulateHook(design, workload)
 	}
 	w, err := workloadFor(workload, o)
 	if err != nil {
@@ -270,10 +342,6 @@ func Run(design Design, workload string, o Options) (*Result, error) {
 		tracer = sim.NewTracer(o.TraceEventLimit)
 		m.SetTracer(tracer)
 	}
-	if o.Warmup == 0 {
-		o.Warmup = o.Measure
-	}
-	start := time.Now()
 	r, err := runMachine(m, cfg, workload, o)
 	if err == nil && tracer != nil {
 		if werr := tracer.WriteJSON(o.TraceEvents); werr != nil {
@@ -297,6 +365,57 @@ func Run(design Design, workload string, o Options) (*Result, error) {
 		})
 	}
 	return r, err
+}
+
+// runWorkload simulates an explicitly built workload — one the name
+// resolver cannot produce, like the shared-page study's modified mixes
+// or the fairness study's single-core alone-runs — with the same
+// result-cache read-through as Run. The trace digest covers every
+// per-core profile parameter, so modified workloads fingerprint soundly.
+// These paths always execute the plain warm-up+measure pair; the
+// checkpoint options don't apply and are cleared so the key reflects how
+// the run actually executes. tag prefixes any simulation error.
+func runWorkload(design Design, tag string, w system.Workload, o Options) (*Result, error) {
+	if o.Warmup == 0 {
+		o.Warmup = o.Measure
+	}
+	o.CheckpointSave, o.CheckpointLoad, o.Checkpoints = "", "", nil
+	sim := func() (*Result, error) {
+		if simulateHook != nil {
+			simulateHook(design, w.Name)
+		}
+		m, err := system.New(configFor(design, o), w)
+		if err != nil {
+			return nil, err
+		}
+		if o.EpochRefs > 0 {
+			m.AttachSampler(obs.NewSampler(o.EpochRefs, o.EpochCapacity))
+		}
+		r, err := m.Run(o.Warmup, o.Measure)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tag, err)
+		}
+		return r, nil
+	}
+	if o.ResultCache == nil || !o.cacheable() {
+		return sim()
+	}
+	pre, err := preimageFor(design, w.Name, w, o)
+	if err != nil {
+		return sim()
+	}
+	key := resultcache.KeyOf(pre)
+	if r, ok := o.ResultCache.Get(key); ok {
+		return r, nil
+	}
+	r, err := sim()
+	if err != nil {
+		return nil, err
+	}
+	if err := o.ResultCache.Put(key, pre, r); err != nil {
+		return r, fmt.Errorf("taglessdram: result cache: %w", err)
+	}
+	return r, nil
 }
 
 // SPECWorkloads lists the 11 single-programmed workloads (Figure 7 order).
