@@ -196,6 +196,42 @@ func TestIncrementalInvalidation(t *testing.T) {
 	if got := n.Load(); got != 3 {
 		t.Errorf("after a global config edit, %d cells re-simulated, want 3", got)
 	}
+
+	// Walk-model-aware projection: under the default fixed walk, editing
+	// the walk-cache hit cost touches nothing (no model consumes it)...
+	n.Store(0)
+	pwcEdit := o
+	pwcEdit.PWCHitCycles = 3
+	if _, err := Sweep(context.Background(), grid(pwcEdit), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 0 {
+		t.Errorf("PWCHitCycles edit under the fixed walk re-simulated %d cells, want 0", got)
+	}
+
+	// ...switching the walk model re-simulates every cell (all designs
+	// route TLB-miss walks through it)...
+	n.Store(0)
+	pwc := o
+	pwc.WalkModel = "pwc"
+	if _, err := Sweep(context.Background(), grid(pwc), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("switching to the pwc walk re-simulated %d cells, want 3", got)
+	}
+
+	// ...and once a walk-cache-bearing model is active, its hit cost is
+	// semantic again.
+	n.Store(0)
+	pwcCost := pwc
+	pwcCost.PWCHitCycles = 3
+	if _, err := Sweep(context.Background(), grid(pwcCost), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("PWCHitCycles edit under the pwc walk re-simulated %d cells, want 3", got)
+	}
 }
 
 // TestFingerprintSemantics pins the facade-level key behavior:

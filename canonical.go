@@ -45,6 +45,11 @@ var semanticOptionFields = map[string]bool{
 	"L2TLBEntries":        true,
 	"Alpha":               true,
 	"MemoryWalk":          true,
+	"WalkModel":           true,
+	"PWCHitCycles":        true,
+	"TLBTopology":         true,
+	"CtxSwitchRefs":       true,
+	"CtxSwitchFlush":      true,
 	"MSHRs":               true,
 	"EpochRefs":           true, // epoch length shapes Result.Epochs
 	"Sample":              true, // sampled runs measure different windows
@@ -88,12 +93,16 @@ func (o Options) Canonical() string {
 		"Shift=%d Warmup=%d Measure=%d Seed=%d CacheMB=%d Policy=%d "+
 			"NCAccessThreshold=%d SynchronousEviction=%t CachedGIPT=%t "+
 			"SharedAliasTable=%t HotFilterThreshold=%d Superpages=%t "+
-			"Refresh=%t L2TLBEntries=%d Alpha=%d MemoryWalk=%t MSHRs=%d "+
+			"Refresh=%t L2TLBEntries=%d Alpha=%d MemoryWalk=%t "+
+			"WalkModel=%q PWCHitCycles=%d TLBTopology=%q "+
+			"CtxSwitchRefs=%d CtxSwitchFlush=%t MSHRs=%d "+
 			"EpochRefs=%d Sample={%s} Quiesced=%t",
 		o.Shift, warmup, o.Measure, o.Seed, o.CacheMB, o.Policy,
 		o.NCAccessThreshold, o.SynchronousEviction, o.CachedGIPT,
 		o.SharedAliasTable, o.HotFilterThreshold, o.Superpages,
-		o.Refresh, o.L2TLBEntries, o.Alpha, o.MemoryWalk, o.MSHRs,
+		o.Refresh, o.L2TLBEntries, o.Alpha, o.MemoryWalk,
+		o.WalkModel, o.PWCHitCycles, o.TLBTopology,
+		o.CtxSwitchRefs, o.CtxSwitchFlush, o.MSHRs,
 		o.EpochRefs, sample, o.quiesced())
 }
 
@@ -116,6 +125,16 @@ func (o Options) projectFor(design Design) Options {
 		o.HotFilterThreshold = 0
 		o.Superpages = false
 		o.Alpha = 0
+	}
+	// Walk-model-aware projection: PWCHitCycles is only consumed by the
+	// walk-cache-bearing models (pwc, nested), so under the fixed model
+	// its edits must not invalidate cache entries. Likewise the flush
+	// policy only matters when context switching is on at all.
+	if eff := o.WalkModel; eff == "fixed" || (eff == "" && !o.MemoryWalk) {
+		o.PWCHitCycles = 0
+	}
+	if o.CtxSwitchRefs == 0 {
+		o.CtxSwitchFlush = false
 	}
 	return o
 }

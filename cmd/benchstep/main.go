@@ -36,6 +36,15 @@ type designReport struct {
 	FFSpeedup      float64 `json:"ff_speedup"`
 }
 
+// walkReport meters the Tagless step under one page-table-walk model;
+// the fixed row is the default path and must stay allocation-free.
+type walkReport struct {
+	Walk         string  `json:"walk"`
+	Design       string  `json:"design"`
+	NsPerRef     float64 `json:"ns_per_ref"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+}
+
 type report struct {
 	Tool       string         `json:"tool"`
 	GoVersion  string         `json:"go_version"`
@@ -43,6 +52,10 @@ type report struct {
 	Reps       int            `json:"reps"`
 	Note       string         `json:"note"`
 	Designs    []designReport `json:"designs"`
+	// WalkModels breaks the cTLB step cost down by walk model: "fixed"
+	// is the default scalar-latency path, "pwc" adds the simulated page
+	// walk cache, "nested" the guest->host 2D walk.
+	WalkModels []walkReport `json:"walk_models"`
 	// Cache is present when -cache-stats is set: the result cache's
 	// cold-store vs warm-replay timing for one reference run.
 	Cache *cacheReport `json:"result_cache,omitempty"`
@@ -140,9 +153,10 @@ type latReport struct {
 const baselineNote = "accurate and fast-forward paths measured interleaved in the same process; " +
 	"ff_speedup is the same-conditions ratio"
 
-func meter(design config.L3Design, refs, reps, warm int) (designReport, latDesignReport, error) {
+func meter(design config.L3Design, walk string, refs, reps, warm int) (designReport, latDesignReport, error) {
 	cfg := config.Default()
 	cfg.Design = design
+	cfg.WalkModel = walk
 	cfg.InPkg.SizeBytes >>= 6
 	cfg.OffPkg.SizeBytes >>= 6
 	cfg.CacheSize >>= 6
@@ -257,7 +271,7 @@ func main() {
 		config.NoL3, config.BankInterleave, config.SRAMTag, config.Tagless, config.Ideal,
 		config.AlloyBlock, config.Banshee,
 	} {
-		dr, ldr, err := meter(d, *refs, *reps, *warm)
+		dr, ldr, err := meter(d, "", *refs, *reps, *warm)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchstep: %s: %v\n", d, err)
 			os.Exit(1)
@@ -266,6 +280,25 @@ func main() {
 			dr.Design, dr.NsPerRef, dr.AllocsPerRef, ldr.P50NsRef, ldr.P99NsRef, dr.FFNsPerRef, dr.FFSpeedup)
 		r.Designs = append(r.Designs, dr)
 		lr.Designs = append(lr.Designs, ldr)
+	}
+
+	// Per-walk-model rows on the cTLB design: the fixed row is the exact
+	// default path and pins the allocation-free step; the pwc and nested
+	// rows price the simulated walk machinery.
+	for _, walk := range []string{"fixed", "pwc", "nested"} {
+		dr, _, err := meter(config.Tagless, walk, *refs, *reps, *warm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchstep: walk %s: %v\n", walk, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cTLB/%-6s %7.2f ns/ref  %.4f allocs/ref\n",
+			walk, dr.NsPerRef, dr.AllocsPerRef)
+		r.WalkModels = append(r.WalkModels, walkReport{
+			Walk:         walk,
+			Design:       dr.Design,
+			NsPerRef:     dr.NsPerRef,
+			AllocsPerRef: dr.AllocsPerRef,
+		})
 	}
 
 	if *cacheStats {

@@ -36,6 +36,12 @@ func main() {
 		rcache  = flag.String("result-cache", "", "persistent content-addressed result cache directory: completed runs are replayed byte-identically instead of re-simulated; editing one configuration re-simulates only its cells")
 		epoch   = flag.Uint64("epoch-refs", 0, "epoch length in measured references for time-series sampling (0 = off)")
 		prewarm = flag.Bool("prewarm", false, "share warm-state checkpoints across figures: each (workload, config, warm-up) warms up once and later runs restore it (results use the checkpointed Warmup/Measure path, so they differ slightly from the default)")
+
+		walkModel = flag.String("walk", "", "page-table-walk model for every run: fixed | pwc | nested (empty = fixed)")
+		pwcHit    = flag.Int("pwc-hit", 2, "per-level page-walk-cache hit cycles (pwc and nested models)")
+		tlbTopo   = flag.String("tlb-topo", "", "TLB topology for every run: private | shared (empty = private)")
+		ctxRefs   = flag.Uint64("ctx-switch-refs", 0, "context-switch each core every N trace references (0 = off)")
+		ctxFlush  = flag.Bool("ctx-switch-flush", false, "flush shared-L2 TLB entries at each context switch instead of retaining them under ASID tags")
 	)
 	flag.BoolVar(&plotBars, "plot", false, "render normalized-IPC bar charts under each figure")
 	pf := prof.Register(flag.CommandLine)
@@ -82,6 +88,15 @@ func main() {
 		o.ExtraDesigns = []taglessdram.Design{taglessdram.AlloyBlock, taglessdram.Banshee}
 	}
 	o.EpochRefs = *epoch
+	o.WalkModel = *walkModel
+	o.PWCHitCycles = *pwcHit
+	o.TLBTopology = *tlbTopo
+	o.CtxSwitchRefs = *ctxRefs
+	o.CtxSwitchFlush = *ctxFlush
+	if err := o.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	if *prewarm {
 		o.Checkpoints = taglessdram.NewCheckpointStore()
 	}

@@ -277,10 +277,55 @@ type SystemConfig struct {
 	// upper levels hit the MMU's page-walk caches (a few cycles each) and
 	// the leaf PTE access goes to DRAM unless recently used. The default
 	// fixed-cost model matches the paper's constant MissPenalty_TLB.
+	// Retained for compatibility; WalkModel supersedes it when set.
 	MemoryWalk bool
+	// WalkModel names the internal/vm walk model handling TLB misses:
+	// "fixed" (the PageWalkCycles scalar), "pwc" (walk-cache-aware memory
+	// walk), or "nested" (guest→host 2D walk for virtualized scenarios).
+	// Empty resolves through EffectiveWalkModel.
+	WalkModel string
+	// PWCHitCycles is the cost of one upper page-table level served by the
+	// MMU's page-walk caches, used by the pwc and nested walk models. Must
+	// be ≥ 0.
+	PWCHitCycles int
+	// TLBTopology names the internal/vm TLB arrangement: "private"
+	// (per-core L1+L2, the default) or "shared" (per-core L1 over one
+	// ASID-tagged L2 shared by all cores). Empty means private.
+	TLBTopology string
+	// CtxSwitchRefs, when positive, quiesces each core and context-switches
+	// it every that many of its memory references, modeling multi-tenant
+	// ASID pressure. Zero disables context switching.
+	CtxSwitchRefs uint64
+	// CtxSwitchFlush selects the context-switch TLB policy: true flushes
+	// the outgoing address space's entries (non-ASID hardware), false
+	// retains them under their ASID tag and instead injects foreign-tenant
+	// TLB pressure.
+	CtxSwitchFlush bool
 	// CorePowerWatts is the average power of one core plus its share of
 	// on-die caches, used by the EDP model.
 	CorePowerWatts float64
+}
+
+// EffectiveWalkModel resolves the walk-model name: an explicit WalkModel
+// wins, otherwise the legacy MemoryWalk bit selects "pwc", otherwise
+// "fixed".
+func (c *SystemConfig) EffectiveWalkModel() string {
+	if c.WalkModel != "" {
+		return c.WalkModel
+	}
+	if c.MemoryWalk {
+		return "pwc"
+	}
+	return "fixed"
+}
+
+// EffectiveTLBTopology resolves the TLB-topology name, defaulting to
+// "private".
+func (c *SystemConfig) EffectiveTLBTopology() string {
+	if c.TLBTopology != "" {
+		return c.TLBTopology
+	}
+	return "private"
 }
 
 // SRAMTagConfig describes the tag array of the SRAM-tag baseline.
@@ -381,6 +426,9 @@ func (c *SystemConfig) Validate() error {
 	if c.PageWalkCycles <= 0 {
 		return fmt.Errorf("config: page walk cycles must be positive")
 	}
+	if c.PWCHitCycles < 0 {
+		return fmt.Errorf("config: PWC hit cycles must be >= 0, got %d", c.PWCHitCycles)
+	}
 	return nil
 }
 
@@ -425,6 +473,9 @@ func Default() *SystemConfig {
 		Tagless:   TaglessConfig{Alpha: 1, Policy: FIFO},
 		// A 4-level walk whose PTEs mostly hit in the on-die caches.
 		PageWalkCycles: 40,
+		// Each upper level served by the MMU's page-walk caches costs two
+		// cycles under the pwc and nested walk models.
+		PWCHitCycles:   2,
 		CorePowerWatts: 5.0,
 	}
 	return c

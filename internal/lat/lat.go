@@ -60,6 +60,17 @@ const (
 	// when an eviction lands inline on the access path, otherwise
 	// background bandwidth.
 	Writeback
+	// PTWalkGuest is the guest-dimension portion of a nested (2D) page
+	// walk: references into the guest page table, translated through the
+	// host dimension.
+	PTWalkGuest
+	// PTWalkHost is the host-dimension portion of a nested walk: the host
+	// page-table references needed to translate each guest level plus the
+	// final guest-physical address.
+	PTWalkHost
+	// TLBShootdown is TLB invalidation traffic: context-switch flushes and
+	// cross-core shared-L2 invalidations, charged as background cycles.
+	TLBShootdown
 
 	// NumComponents sizes component-indexed arrays.
 	NumComponents
@@ -75,6 +86,9 @@ var componentNames = [NumComponents]string{
 	"offpkg_queue",
 	"offpkg_service",
 	"writeback",
+	"ptwalk_guest",
+	"ptwalk_host",
+	"tlb_shootdown",
 }
 
 // String returns the stable metric-key identifier of the component.

@@ -10,7 +10,7 @@ func TestComponentStringsStable(t *testing.T) {
 	want := []string{
 		"ctlb_lookup", "pt_walk", "gipt_update", "victim_probe",
 		"inpkg_queue", "inpkg_service", "offpkg_queue", "offpkg_service",
-		"writeback",
+		"writeback", "ptwalk_guest", "ptwalk_host", "tlb_shootdown",
 	}
 	if int(NumComponents) != len(want) {
 		t.Fatalf("NumComponents = %d, want %d", NumComponents, len(want))

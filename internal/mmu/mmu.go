@@ -21,6 +21,18 @@ import (
 // ErrOutOfMemory is returned when the backing store has no free frames.
 var ErrOutOfMemory = errors.New("mmu: out of physical memory")
 
+// WalkLevels is the depth of the radix page table the timing walk models
+// assume (an x86-64-style four-level table with 9 index bits per level).
+const WalkLevels = 4
+
+// LevelPrefix returns the vpn bits that identify the page-table page a
+// walk visits at the given level (0 = root). Deeper levels keep more of
+// the vpn, so fewer walks share their lower-level tables — which is what
+// gives the MMU's page-walk caches their upper-level locality.
+func LevelPrefix(vpn uint64, level int) uint64 {
+	return vpn >> (9 * uint(WalkLevels-1-level))
+}
+
 // PTE is a page-table entry. Frame is a physical page number (PPN) unless
 // VC is set, in which case it is a cache block number (CA).
 type PTE struct {

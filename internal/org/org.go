@@ -80,6 +80,11 @@ type Ports struct {
 	// latency passed to Observe. May be nil (Recorder methods are
 	// nil-safe); the machine always wires one.
 	Lat *lat.Recorder
+	// Walk prices a page-table walk through the machine's internal/vm
+	// walk model, which attributes its own latency components. May be
+	// nil (tests constructing Ports directly): the tagless controller
+	// then falls back to its fixed WalkCycles cost.
+	Walk func(at sim.Tick, coreID int, vpn uint64) sim.Tick
 }
 
 // charge attributes one device access's critical-path cycles to its

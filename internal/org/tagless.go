@@ -31,6 +31,7 @@ func init() {
 			Alpha:               p.Cfg.Tagless.Alpha,
 			Policy:              p.Cfg.Tagless.Policy,
 			WalkCycles:          p.Cfg.PageWalkCycles,
+			WalkFunc:            p.Walk,
 			SynchronousEviction: p.Cfg.Tagless.SynchronousEviction,
 			CachedGIPT:          p.Cfg.Tagless.CachedGIPT,
 			SharedAliasTable:    p.Cfg.Tagless.SharedAliasTable,

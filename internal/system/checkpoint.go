@@ -33,7 +33,9 @@ import (
 // byte-identical Results — rather than equivalence with Run.
 
 // checkpointMagic guards against feeding arbitrary gobs to LoadCheckpoint.
-const checkpointMagic = "taglesssim-checkpoint-v1"
+// v2: per-core PTE-cache state replaced by the machine-level walk-model
+// snapshot, plus context-switch scheduler state.
+const checkpointMagic = "taglesssim-checkpoint-v2"
 
 type hotPair struct {
 	VPN   uint64
@@ -52,10 +54,8 @@ type coreCheckpoint struct {
 	CPU    cpu.State
 	TLB1   tlb.State
 	TLB2   tlb.State
-	L1     cache.State
-	L2     cache.State
-	// PTECache is present only in memory-walk mode.
-	PTECache *cache.State
+	L1       cache.State
+	L2       cache.State
 	Gen      trace.GenState
 	HotCount []hotPair // sorted by VPN
 }
@@ -77,6 +77,14 @@ type checkpointState struct {
 	Ctrl       *core.CtrlState // tagless controller, nil otherwise
 	Org        []byte          // org.Snapshotter payload
 	HasOrg     bool
+	// VMWalk names the walk model that produced VM; restoring into a
+	// machine with a different model is an error.
+	VMWalk string
+	VM     []byte
+	// CtxCount/CtxRNG carry the context-switch scheduler, empty when
+	// context switching is disabled.
+	CtxCount []uint64
+	CtxRNG   []uint64
 }
 
 // Warmup runs the warm-up phase cycle-accurately and quiesces the event
@@ -241,10 +249,6 @@ func (m *Machine) SaveCheckpoint(w io.Writer) error {
 			ck.TLB2 = cc.tlbs.L2.State()
 			ck.L1 = cc.l1.State()
 			ck.L2 = cc.l2.State()
-			if cc.pteCache != nil {
-				s := cc.pteCache.State()
-				ck.PTECache = &s
-			}
 			ck.Gen = cc.vgen.State()
 			for vpn, n := range cc.hotCount {
 				ck.HotCount = append(ck.HotCount, hotPair{VPN: vpn, Count: n})
@@ -270,6 +274,16 @@ func (m *Machine) SaveCheckpoint(w io.Writer) error {
 			return fmt.Errorf("system: checkpoint: %w", err)
 		}
 		st.Org, st.HasOrg = data, true
+	}
+	st.VMWalk = m.walk.Name()
+	vmData, err := m.walk.Snapshot()
+	if err != nil {
+		return fmt.Errorf("system: checkpoint: %w", err)
+	}
+	st.VM = vmData
+	if m.ctx != nil {
+		st.CtxCount = append([]uint64(nil), m.ctx.Count...)
+		st.CtxRNG = append([]uint64(nil), m.ctx.RNG...)
 	}
 	return gob.NewEncoder(w).Encode(&st)
 }
@@ -344,12 +358,6 @@ func (m *Machine) LoadCheckpoint(rd io.Reader) (err error) {
 		cc.tlbs.L2.SetState(ck.TLB2)
 		cc.l1.SetState(ck.L1)
 		cc.l2.SetState(ck.L2)
-		if (ck.PTECache != nil) != (cc.pteCache != nil) {
-			return fmt.Errorf("system: checkpoint core %d memory-walk mode does not match", i)
-		}
-		if ck.PTECache != nil {
-			cc.pteCache.SetState(*ck.PTECache)
-		}
 		cc.vgen.SetState(ck.Gen)
 		if ck.Group >= 0 && ck.Group < len(restoredGroups) && !restoredGroups[ck.Group] {
 			cc.vgen.SetSharedState(st.SharedGens[ck.Group])
@@ -382,6 +390,22 @@ func (m *Machine) LoadCheckpoint(rd io.Reader) (err error) {
 		if err := snap.RestoreOrg(st.Org); err != nil {
 			return fmt.Errorf("system: checkpoint restore: %w", err)
 		}
+	}
+	if st.VMWalk != m.walk.Name() {
+		return fmt.Errorf("system: checkpoint walk model %q does not match machine walk model %q", st.VMWalk, m.walk.Name())
+	}
+	if err := m.walk.Restore(st.VM); err != nil {
+		return fmt.Errorf("system: checkpoint restore: %w", err)
+	}
+	if (len(st.CtxCount) > 0) != (m.ctx != nil) {
+		return fmt.Errorf("system: checkpoint context-switch mode does not match")
+	}
+	if m.ctx != nil {
+		if len(st.CtxCount) != len(m.ctx.Count) || len(st.CtxRNG) != len(m.ctx.RNG) {
+			return fmt.Errorf("system: checkpoint context-switch state has %d cores, machine has %d", len(st.CtxCount), len(m.ctx.Count))
+		}
+		copy(m.ctx.Count, st.CtxCount)
+		copy(m.ctx.RNG, st.CtxRNG)
 	}
 	return nil
 }

@@ -165,6 +165,14 @@ func (m *Machine) fastForward(n, instrTarget uint64) error {
 func (m *Machine) ffVisit(cc *coreCtx, v *trace.Visit) error {
 	cc.cpu.Retire(int(v.Instr))
 	m.refs += v.Refs
+	// Context-switch pacing: same per-core reference counting as step, so
+	// the switch schedule is identical across paths (untimed here — state
+	// effects only).
+	if m.ctx != nil {
+		for n := m.ctx.Due(cc.id, v.Refs); n > 0; n-- {
+			m.contextSwitch(cc, false)
+		}
+	}
 	now := cc.cpu.Now()
 	vpn := v.Page
 
@@ -225,6 +233,11 @@ func (m *Machine) ffVisit(cc *coreCtx, v *trace.Visit) error {
 		}
 	}
 	entry, lvl := cc.tlbs.Lookup(lookupKey)
+	if lvl == tlb.InL2 && m.tlbShared != nil && m.ctrl != nil {
+		// Shared-L2 refill parity with step: the sibling-installed
+		// translation now sits in this core's L1.
+		m.ctrl.NoteTLBResident(cc.id, entry)
+	}
 	if lvl == tlb.MissAll {
 		if m.ctrl != nil {
 			e, err := m.ctrl.FastTLBMiss(now, cc.id, cc.pt, vpn)

@@ -16,6 +16,7 @@ import (
 	"taglessdram/internal/stats"
 	"taglessdram/internal/tlb"
 	"taglessdram/internal/trace"
+	"taglessdram/internal/vm"
 )
 
 // paBit distinguishes physically-addressed lines from cache-addressed lines
@@ -50,10 +51,6 @@ type coreCtx struct {
 	// in step reuse one resolution instead of repeated table probes.
 	memoVPN uint64
 	memoPTE *mmu.PTE
-
-	// pteCache models the MMU's translation-cache for leaf PTE lines
-	// (memory-walk model only).
-	pteCache *cache.Cache
 
 	// ffFilt is the fast-forward path's stand-in for the on-die hierarchy:
 	// a direct-mapped memo over block numbers, sized to the L2's line
@@ -102,6 +99,18 @@ type Machine struct {
 	// path in step consults directly (ctrl is nil for other designs).
 	org  org.Organization
 	ctrl *core.Controller
+
+	// walk is the pluggable page-table-walk timing model (internal/vm
+	// registry); every TLB miss's walk cost routes through it.
+	walk vm.WalkModel
+	// tlbShared is the shared-L2 group under the shared topology (nil
+	// for private), and ctx paces per-core context switches (nil when
+	// disabled). ctxScratch is the reusable key buffer a flush collects
+	// into.
+	tlbShared   *tlb.SharedGroup
+	ctx         *vm.CtxSched
+	ctxScratch  []uint64
+	ctxSwitches uint64
 
 	spPages      uint64            // superpage region size in pages (1 = disabled)
 	spMask       uint64            // spPages-1 (spPages is a power of two)
@@ -216,12 +225,32 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		}
 	}
 
+	// Virtual-memory layer: the TLB topology and the walk timing model,
+	// both resolved through the internal/vm registries. Walk references
+	// land in the reserved page-table region computed above.
+	topo, err := vm.NewTopology(cfg.EffectiveTLBTopology(), cfg.L1TLB, cfg.L2TLB, cfg.CPU.Cores)
+	if err != nil {
+		return nil, err
+	}
+	m.tlbShared = topo.Shared
+	m.walk, err = vm.NewWalk(cfg.EffectiveWalkModel(), vm.Ports{
+		Cfg:    cfg,
+		OffPkg: m.offPkg,
+		Rec:    &m.rec,
+		PTBase: m.giptBase,
+		PTSize: m.giptRegion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.ctx = vm.NewCtxSched(cfg)
+
 	// Per-core hardware.
 	for i := 0; i < cfg.CPU.Cores; i++ {
 		cc := &coreCtx{
 			id:   i,
 			cpu:  cpu.New(i, cfg.CPU.IssueWidth, cfg.CPU.MSHRs),
-			tlbs: tlb.NewHierarchy(cfg.L1TLB, cfg.L2TLB),
+			tlbs: topo.Cores[i],
 			l1:   cache.New(cfg.L1D),
 			l2:   cache.New(cfg.L2),
 		}
@@ -230,14 +259,14 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 			cc.vgen, _ = gens[i].(*trace.Generator)
 			cc.pt = pts[i]
 			cc.active = true
+			if m.tlbShared != nil {
+				// Shared-L2 keys are ASID-tagged: multithreaded cores
+				// share one table (and so one tag); multiprogrammed
+				// cores each get their own address space.
+				cc.tlbs.SetASID(cc.pt.ASID)
+			}
 			if cfg.Design == config.Tagless && cfg.Tagless.HotFilterThreshold > 0 {
 				cc.hotCount = make(map[uint64]uint32)
-			}
-			if cfg.MemoryWalk {
-				// A 4KB, 8-way PTE cache: 64 lines of 8 PTEs each.
-				cc.pteCache = cache.New(config.CacheConfig{
-					SizeBytes: 4 * config.KB, Ways: 8, LineBytes: config.BlockSize, LatencyCycle: 2,
-				})
 			}
 		}
 		m.cores = append(m.cores, cc)
@@ -254,6 +283,7 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		Mem:     (*memOps)(m),
 		Observe: m.observeL3,
 		Lat:     &m.rec,
+		Walk:    m.walk.Walk,
 	})
 	if err != nil {
 		return nil, err
@@ -269,9 +299,6 @@ func New(cfg *config.SystemConfig, w Workload) (*Machine, error) {
 		m.spPages = 1
 		if sp := cfg.Tagless.SuperpagePages; sp > 1 {
 			m.spPages = uint64(sp)
-		}
-		if cfg.MemoryWalk {
-			m.ctrl.SetWalkFunc(m.memoryWalk)
 		}
 		m.ctrl.EvictHook = m.onPageEvicted
 		m.ctrl.ShootdownHook = m.onShootdown
@@ -360,23 +387,40 @@ func (m *Machine) onPageEvicted(at sim.Tick, ca, ppn uint64, dirty bool) {
 	}
 }
 
-// memoryWalk models a four-level page-table walk as memory traffic: the
-// three upper levels hit the MMU's page-walk caches (2 cycles each), and
-// the leaf PTE read hits the per-core PTE cache or goes to off-package
-// DRAM in the reserved page-table region.
-func (m *Machine) memoryWalk(at sim.Tick, coreID int, vpn uint64) sim.Tick {
-	const upperLevels = 3 * 2
-	done := at + upperLevels
-	cc := m.cores[coreID]
-	if cc.pteCache == nil {
-		return done + sim.Tick(m.cfg.PageWalkCycles)
+// contextSwitch applies one context switch on cc: under the flush policy
+// the core's own shared-L2 entries are shot down (and the switch's cost
+// charged when timed); under the ASID-retain policy the entries survive
+// but a burst of foreign-tenant entries is injected, modeling the TLB
+// capacity other tenants consume while scheduled. The untimed variant
+// (fast-forward) applies only the state effects.
+func (m *Machine) contextSwitch(cc *coreCtx, timed bool) {
+	m.ctxSwitches++
+	if m.ctx.Flush {
+		m.ctxScratch = m.ctxScratch[:0]
+		if m.tlbShared != nil {
+			m.tlbShared.L2.Each(func(key uint64, _ tlb.Entry) {
+				if cc.tlbs.OwnsKey(key) {
+					m.ctxScratch = append(m.ctxScratch, key)
+				}
+			})
+		}
+		for _, key := range m.ctxScratch {
+			// Keys are already ASID-tagged; Invalidate's tagging is an
+			// idempotent OR, so passing them back is safe.
+			cc.tlbs.Invalidate(key)
+		}
+		if timed && len(m.ctxScratch) > 0 {
+			d := sim.Tick(len(m.ctxScratch) * vm.ShootdownCyclesPerEntry)
+			m.rec.AddBackground(lat.TLBShootdown, d)
+			cc.cpu.Block(cc.cpu.Now() + d)
+		}
+		return
 	}
-	pteAddr := m.giptBase + m.giptRegion/2 + (vpn*8)%(m.giptRegion/2)
-	if hit, _, _ := cc.pteCache.Access(pteAddr, false); hit {
-		return done + sim.Tick(cc.pteCache.Latency())
+	// ASID-retain: foreign tenants ran and filled shared-L2 capacity.
+	// NC entries skip residence bookkeeping on displacement.
+	for i := 0; i < vm.ForeignInjectEntries; i++ {
+		cc.tlbs.Insert(m.ctx.ForeignVPN(cc.id), tlb.Entry{NC: true})
 	}
-	r := m.offPkg.Access(done, pteAddr&^uint64(config.BlockSize-1), config.BlockSize, dram.Read)
-	return r.Done
 }
 
 // sharedFrame returns the machine-wide physical frame backing a shared

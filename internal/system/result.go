@@ -37,6 +37,13 @@ type Result struct {
 	TLBMissRate float64
 	NCAccesses  uint64
 
+	// SharedTLBInvalidations counts L1 entries of one core killed by a
+	// different core's shared-L2 activity (shared topology only), and
+	// CtxSwitches counts context switches applied over the measured
+	// window. Neither enters golden fingerprints.
+	SharedTLBInvalidations uint64
+	CtxSwitches            uint64
+
 	Energy  energy.Breakdown
 	EDPJs   float64 // energy-delay product in joule-seconds
 	Seconds float64
@@ -134,6 +141,10 @@ func (m *Machine) collect() *Result {
 		r.TLBMissRate = float64(r.TLBMisses) / float64(r.TLBLookups)
 	}
 	r.NCAccesses = m.ncAccesses.Value()
+	r.CtxSwitches = m.ctxSwitches
+	if m.tlbShared != nil {
+		r.SharedTLBInvalidations = m.tlbShared.Invalidations
+	}
 
 	var os org.Stats
 	m.org.Collect(&os)
@@ -193,6 +204,8 @@ func (r *Result) Metrics() *stats.Registry {
 	reg.Set("l3.avg_latency_cycles", r.AvgL3Latency)
 	reg.Set("tlb.miss_rate", r.TLBMissRate)
 	reg.Set("nc.accesses", float64(r.NCAccesses))
+	reg.Set("vm.ctx_switches", float64(r.CtxSwitches))
+	reg.Set("vm.shared_tlb_invalidations", float64(r.SharedTLBInvalidations))
 	reg.Set("energy.total_j", r.Energy.TotalJ())
 	reg.Set("energy.core_j", r.Energy.CoreJ)
 	reg.Set("energy.inpkg_j", r.Energy.InPkgJ)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"taglessdram/internal/config"
-	"taglessdram/internal/lat"
 	"taglessdram/internal/org"
 	"taglessdram/internal/sim"
 	"taglessdram/internal/tlb"
@@ -220,6 +219,10 @@ func (m *Machine) beginMeasurement() {
 	m.tlbLookups.Reset()
 	m.tlbMisses.Reset()
 	m.ncAccesses.Reset()
+	m.ctxSwitches = 0
+	if m.tlbShared != nil {
+		m.tlbShared.Invalidations = 0
+	}
 	m.rec.Reset()
 	m.rec.Enable()
 	m.org.ResetStats()
@@ -241,6 +244,14 @@ func (m *Machine) step(cc *coreCtx) error {
 	// the next epoch).
 	if m.sampler != nil && m.measuring && m.sampler.Tick() {
 		m.sampler.Record(m.cumulative())
+	}
+	// Context-switch pacing: Due counts per-core references, so the step
+	// path (n=1) and the fast-forward path (n=batch) produce the same
+	// switch schedule.
+	if m.ctx != nil {
+		for n := m.ctx.Due(cc.id, 1); n > 0; n-- {
+			m.contextSwitch(cc, true)
+		}
 	}
 	vpn := a.VAddr >> 12
 	write := a.Write
@@ -313,6 +324,12 @@ func (m *Machine) step(cc *coreCtx) error {
 	}
 	entry, lvl := cc.tlbs.Lookup(lookupKey)
 	m.tlbLookups.Inc()
+	if lvl == tlb.InL2 && m.tlbShared != nil && m.ctrl != nil {
+		// A shared-L2 hit refilled this core's L1 with a translation a
+		// sibling installed: set this core's residence bit so the GIPT
+		// keeps tracking every core that can hit the page.
+		m.ctrl.NoteTLBResident(cc.id, entry)
+	}
 	if lvl == tlb.MissAll {
 		m.tlbMisses.Inc()
 		start := cc.cpu.Now()
@@ -342,12 +359,8 @@ func (m *Machine) step(cc *coreCtx) error {
 				return fmt.Errorf("system: core %d vpn %d: %w", cc.id, vpn, err)
 			}
 			entry = tlb.Entry{Frame: pte.Frame}
-			if m.cfg.MemoryWalk {
-				done = m.memoryWalk(start, cc.id, vpn)
-			} else {
-				done = start + sim.Tick(m.cfg.PageWalkCycles)
-			}
-			m.rec.Add(lat.PTWalk, done-start)
+			// The walk model attributes its own latency components.
+			done = m.walk.Walk(start, cc.id, vpn)
 		}
 		cc.tlbs.Insert(lookupKey, entry)
 		cc.cpu.Block(done)

@@ -123,14 +123,20 @@ func TestMemoryWalkModel(t *testing.T) {
 	if r.IPC <= 0 {
 		t.Fatal("memory-walk run failed")
 	}
-	// The PTE cache must see traffic and get some hits (walks cluster on
+	// The walk cache must see traffic and get some hits (walks cluster on
 	// hot page-table lines).
-	pc := m.cores[0].pteCache
-	if pc == nil || pc.Accesses == 0 {
-		t.Fatal("PTE cache unused under the memory-walk model")
+	ws, ok := m.walk.(interface {
+		WalkCacheStats(core int) (accesses, hits uint64)
+	})
+	if !ok {
+		t.Fatalf("MemoryWalk selected walk model %q with no walk cache", m.walk.Name())
 	}
-	if pc.Hits == 0 {
-		t.Fatal("PTE cache never hit; walk locality not modeled")
+	accesses, hits := ws.WalkCacheStats(0)
+	if accesses == 0 {
+		t.Fatal("walk cache unused under the memory-walk model")
+	}
+	if hits == 0 {
+		t.Fatal("walk cache never hit; walk locality not modeled")
 	}
 }
 
@@ -145,7 +151,13 @@ func TestMemoryWalkForConventionalDesigns(t *testing.T) {
 	if _, err := m.Run(400000, 400000); err != nil {
 		t.Fatal(err)
 	}
-	if m.cores[0].pteCache == nil || m.cores[0].pteCache.Accesses == 0 {
+	ws, ok := m.walk.(interface {
+		WalkCacheStats(core int) (accesses, hits uint64)
+	})
+	if !ok {
+		t.Fatalf("MemoryWalk selected walk model %q with no walk cache", m.walk.Name())
+	}
+	if accesses, _ := ws.WalkCacheStats(0); accesses == 0 {
 		t.Fatal("conventional design skipped the memory walk")
 	}
 }

@@ -24,6 +24,25 @@ type Entry struct {
 // keys, which set bit 61) stay below 2^62, so the sentinel cannot collide.
 const invalidVPN = ^uint64(0)
 
+// ASID tagging. Under the shared-L2 topology every key a hierarchy
+// touches carries its owner's address-space tag in bits 48–59, well above
+// any real vpn (traces stay below 2^33) and below the superpage key bit
+// (61). ForeignBit marks synthetic foreign-tenant entries injected to
+// model context-switch pressure; it can never collide with a workload
+// key. A zero tag (the private topology) leaves keys untouched.
+const (
+	// ASIDTagShift is the bit position of the tag field.
+	ASIDTagShift = 48
+	// asidTagMask covers the 12-bit tag field.
+	asidTagMask = uint64(0xFFF) << ASIDTagShift
+	// ForeignBit marks injected foreign-tenant entries.
+	ForeignBit = uint64(1) << 60
+)
+
+// ASIDTag returns the key tag for an address-space ID. Tags are asid+1 so
+// that tag zero stays reserved for the untagged private topology.
+func ASIDTag(asid int) uint64 { return uint64(asid+1) << ASIDTagShift }
+
 // TLB is one set-associative translation buffer with LRU replacement. Slots
 // are stored structure-of-arrays so the lookup path scans only the set's
 // vpn words; invalid slots carry a sentinel vpn.
@@ -191,6 +210,16 @@ func (t *TLB) Update(vpn uint64, e Entry) bool {
 	return false
 }
 
+// Each calls fn for every valid entry, in slot order. The callback must
+// not mutate the TLB.
+func (t *TLB) Each(fn func(key uint64, e Entry)) {
+	for i, v := range t.vpns {
+		if v != invalidVPN {
+			fn(v, Entry{Frame: t.frames[i], NC: t.nc[i]})
+		}
+	}
+}
+
 // Occupancy returns the number of valid entries.
 func (t *TLB) Occupancy() int {
 	n := 0
@@ -280,14 +309,92 @@ func (t *TLB) SetState(st State) {
 // entry is also in L2, so a page leaves the core's TLB reach exactly when
 // it leaves L2. OnEvict (if set) fires at that moment — the tagless cache
 // uses it to clear the page's TLB-residence bit in the GIPT (Section 3.2).
+//
+// Under the shared topology (NewSharedGroup) L2 is one TLB shared by all
+// member hierarchies and every key is ASID-tagged; the simulator's
+// single-threaded kernel is what makes the shared level safe without
+// locks. A private hierarchy's tag is zero, so tagging is an identity and
+// its behavior is bit-identical to the pre-topology code.
 type Hierarchy struct {
 	L1, L2  *TLB
 	OnEvict func(vpn uint64, e Entry)
+
+	asidTag uint64
+	group   *SharedGroup
 }
 
-// NewHierarchy builds a two-level TLB for one core.
+// NewHierarchy builds a private two-level TLB for one core.
 func NewHierarchy(l1, l2 config.TLBConfig) *Hierarchy {
 	return &Hierarchy{L1: New(l1), L2: New(l2)}
+}
+
+// SharedGroup is the shared-L2 topology: one L2 serving every core's L1.
+// Cross-core effects — an insert by one core displacing another core's
+// translation, a shootdown reaching every L1 — are what the private
+// topology structurally cannot express.
+type SharedGroup struct {
+	L2      *TLB
+	members []*Hierarchy
+	// Invalidations counts L1 entries of one core killed by shared-L2
+	// activity of a different core (the topology's invalidation traffic).
+	Invalidations uint64
+}
+
+// NewSharedGroup builds per-core hierarchies whose L2 level is one shared
+// TLB. Each member still exposes the L2 through its own Hierarchy, so
+// stats reset and state save/restore code paths work unchanged
+// (idempotently, since they see the same underlying TLB).
+func NewSharedGroup(l1, l2 config.TLBConfig, cores int) (*SharedGroup, []*Hierarchy) {
+	g := &SharedGroup{L2: New(l2)}
+	hs := make([]*Hierarchy, cores)
+	for i := range hs {
+		h := &Hierarchy{L1: New(l1), L2: g.L2, group: g}
+		g.members = append(g.members, h)
+		hs[i] = h
+	}
+	return g, hs
+}
+
+// SetASID retags the hierarchy's address space. Keys the core touches
+// from now on carry the new tag.
+func (h *Hierarchy) SetASID(asid int) { h.asidTag = ASIDTag(asid) }
+
+// OwnsKey reports whether a (tagged) key belongs to this hierarchy's
+// address space. A private hierarchy owns everything it holds.
+func (h *Hierarchy) OwnsKey(key uint64) bool {
+	return h.asidTag == 0 || key&asidTagMask == h.asidTag
+}
+
+// dropL1s removes key from every L1 that can hold it, counting an
+// invalidation for each member other than self whose L1 actually held it.
+func (h *Hierarchy) dropL1s(key uint64) {
+	if h.group == nil {
+		h.L1.Invalidate(key)
+		return
+	}
+	for _, m := range h.group.members {
+		if m.L1.Invalidate(key) && m != h {
+			h.group.Invalidations++
+		}
+	}
+}
+
+// notifyEvict announces that key left the L2 level — and with it every
+// core's reach — so each member's OnEvict can release per-core state
+// (GIPT residence bits). Members that never held the translation clear
+// an already-clear bit, which is idempotent.
+func (h *Hierarchy) notifyEvict(key uint64, e Entry) {
+	if h.group == nil {
+		if h.OnEvict != nil {
+			h.OnEvict(key, e)
+		}
+		return
+	}
+	for _, m := range h.group.members {
+		if m.OnEvict != nil {
+			m.OnEvict(key, e)
+		}
+	}
 }
 
 // Level identifies where a lookup hit.
@@ -300,59 +407,64 @@ const (
 	InL2
 )
 
-// Lookup searches L1 then L2. An L2 hit refills L1.
+// Lookup searches L1 then L2. An L2 hit refills L1. Keys are tagged with
+// the hierarchy's ASID (identity for the private topology); OR keeps
+// already-tagged keys stable, so callers may pass either form.
 func (h *Hierarchy) Lookup(vpn uint64) (Entry, Level) {
-	if e, ok := h.L1.Lookup(vpn); ok {
+	key := vpn | h.asidTag
+	if e, ok := h.L1.Lookup(key); ok {
 		return e, InL1
 	}
-	if e, ok := h.L2.Lookup(vpn); ok {
+	if e, ok := h.L2.Lookup(key); ok {
 		// Refill L1; inclusivity means the L1 victim is still in L2.
-		h.L1.Insert(vpn, e)
+		h.L1.Insert(key, e)
 		return e, InL2
 	}
 	return Entry{}, MissAll
 }
 
 // Insert installs a translation into both levels, firing OnEvict for any
-// translation that leaves L2 (and with it, the hierarchy).
+// translation that leaves L2 (and with it, every core's reach).
 func (h *Hierarchy) Insert(vpn uint64, e Entry) {
-	if evpn, ee, ok := h.L2.Insert(vpn, e); ok {
-		h.L1.Invalidate(evpn) // preserve inclusion
-		if h.OnEvict != nil {
-			h.OnEvict(evpn, ee)
-		}
+	key := vpn | h.asidTag
+	if evpn, ee, ok := h.L2.Insert(key, e); ok {
+		h.dropL1s(evpn) // preserve inclusion
+		h.notifyEvict(evpn, ee)
 	}
-	h.L1.Insert(vpn, e)
+	h.L1.Insert(key, e)
 }
 
 // Contains reports whether vpn is resident anywhere in the hierarchy
 // without perturbing state.
 func (h *Hierarchy) Contains(vpn uint64) bool {
-	if _, ok := h.L1.Peek(vpn); ok {
+	key := vpn | h.asidTag
+	if _, ok := h.L1.Peek(key); ok {
 		return true
 	}
-	_, ok := h.L2.Peek(vpn)
+	_, ok := h.L2.Peek(key)
 	return ok
 }
 
 // Invalidate performs a shootdown of vpn from both levels and reports
-// whether it was present. OnEvict fires if it was.
+// whether it was present. OnEvict fires if it was — under the shared
+// topology on every member, since the translation leaves all of them at
+// once.
 func (h *Hierarchy) Invalidate(vpn uint64) bool {
-	e, inL2 := h.L2.Peek(vpn)
-	h.L1.Invalidate(vpn)
+	key := vpn | h.asidTag
+	e, inL2 := h.L2.Peek(key)
+	h.dropL1s(key)
 	if inL2 {
-		h.L2.Invalidate(vpn)
-		if h.OnEvict != nil {
-			h.OnEvict(vpn, e)
-		}
+		h.L2.Invalidate(key)
+		h.notifyEvict(key, e)
 	}
 	return inL2
 }
 
 // Update rewrites vpn's entry in both levels (returns whether present in L2).
 func (h *Hierarchy) Update(vpn uint64, e Entry) bool {
-	h.L1.Update(vpn, e)
-	return h.L2.Update(vpn, e)
+	key := vpn | h.asidTag
+	h.L1.Update(key, e)
+	return h.L2.Update(key, e)
 }
 
 // Flush clears both levels without firing OnEvict (power-on reset).

@@ -49,7 +49,7 @@ func TestLatencyComponentNames(t *testing.T) {
 	want := []string{
 		"ctlb_lookup", "pt_walk", "gipt_update", "victim_probe",
 		"inpkg_queue", "inpkg_service", "offpkg_queue", "offpkg_service",
-		"writeback",
+		"writeback", "ptwalk_guest", "ptwalk_host", "tlb_shootdown",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("components = %v, want %v", names, want)

@@ -28,6 +28,7 @@ import (
 	"taglessdram/internal/sim"
 	"taglessdram/internal/system"
 	"taglessdram/internal/trace"
+	"taglessdram/internal/vm"
 )
 
 // Design selects a DRAM-cache organization (Section 4 of the paper).
@@ -112,7 +113,29 @@ type Options struct {
 	Alpha int
 	// MemoryWalk models page-table walks as memory traffic (MMU walk
 	// caches + leaf PTE reads) instead of the paper-style fixed cost.
+	// Legacy switch: it selects the "pwc" walk model when WalkModel is
+	// empty.
 	MemoryWalk bool
+	// WalkModel selects the page-table-walk timing model by name:
+	// "fixed" (the paper's constant cost, the default), "pwc"
+	// (walk-cache + leaf PTE memory traffic), or "nested" (virtualized
+	// guest→host two-dimensional walk, up to 24 memory references per
+	// miss). Empty defers to MemoryWalk.
+	WalkModel string
+	// PWCHitCycles is the per-level page-walk-cache hit cost of the pwc
+	// and nested models (the old hardcoded 2-cycle upper-level cost).
+	PWCHitCycles int
+	// TLBTopology selects the TLB organization: "private" (per-core
+	// two-level hierarchy, the default) or "shared" (per-core L1s over
+	// one shared ASID-tagged L2 with cross-core invalidation traffic).
+	TLBTopology string
+	// CtxSwitchRefs, when positive, context-switches each core every
+	// that many trace references, modeling multi-tenant TLB pressure.
+	CtxSwitchRefs uint64
+	// CtxSwitchFlush selects the context-switch policy: true shoots down
+	// the core's own shared-L2 entries (quiesced flush); false retains
+	// them under ASID tagging and injects foreign-tenant entries instead.
+	CtxSwitchFlush bool
 	// MSHRs overrides the per-core outstanding-miss window (0 = the
 	// default 8), for memory-level-parallelism sensitivity studies.
 	MSHRs int
@@ -206,7 +229,7 @@ func OpenResultCache(dir string) (*ResultCache, error) {
 // DefaultOptions returns the experiments' standard scale: 64× shrink,
 // 3M warmup + 3M measured instructions per core.
 func DefaultOptions() Options {
-	return Options{Shift: 6, Warmup: 3_000_000, Measure: 3_000_000, Seed: 1}
+	return Options{Shift: 6, Warmup: 3_000_000, Measure: 3_000_000, Seed: 1, PWCHitCycles: 2}
 }
 
 // configFor builds the machine configuration for a run.
@@ -251,6 +274,11 @@ func configFor(design Design, o Options) *config.SystemConfig {
 		c.Tagless.Alpha = o.Alpha
 	}
 	c.MemoryWalk = o.MemoryWalk
+	c.WalkModel = o.WalkModel
+	c.PWCHitCycles = o.PWCHitCycles
+	c.TLBTopology = o.TLBTopology
+	c.CtxSwitchRefs = o.CtxSwitchRefs
+	c.CtxSwitchFlush = o.CtxSwitchFlush
 	if o.MSHRs > 0 {
 		c.CPU.MSHRs = o.MSHRs
 	}
@@ -459,5 +487,24 @@ func (o Options) Validate() error {
 	if o.CheckpointSave != "" && o.CheckpointLoad != "" {
 		return fmt.Errorf("taglessdram: CheckpointSave and CheckpointLoad are mutually exclusive")
 	}
+	if o.WalkModel != "" && !registeredName(vm.RegisteredWalks(), o.WalkModel) {
+		return fmt.Errorf("taglessdram: unknown walk model %q (have %v)", o.WalkModel, vm.RegisteredWalks())
+	}
+	if o.TLBTopology != "" && !registeredName(vm.RegisteredTopologies(), o.TLBTopology) {
+		return fmt.Errorf("taglessdram: unknown TLB topology %q (have %v)", o.TLBTopology, vm.RegisteredTopologies())
+	}
+	if o.PWCHitCycles < 0 {
+		return fmt.Errorf("taglessdram: PWCHitCycles must be non-negative, got %d", o.PWCHitCycles)
+	}
 	return nil
+}
+
+// registeredName reports whether name appears in a vm registry listing.
+func registeredName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
