@@ -28,7 +28,7 @@ func benchOpts() Options {
 // access cases and their measured handler costs.
 func BenchmarkTable1AccessCases(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunTable1(benchOpts())
+		rows, err := RunTable1(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +42,7 @@ func BenchmarkTable1AccessCases(b *testing.B) {
 // design-requirement comparison of the SRAM-tag and tagless caches.
 func BenchmarkTable2DesignComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunTable2(benchOpts(), "MIX3")
+		rows, err := RunTable2(context.Background(), benchOpts(), "MIX3")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func BenchmarkFigure7SingleProgrammed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var rows []DesignRow
 		for _, wl := range programs {
-			r, err := runAcrossDesigns(wl, benchOpts())
+			r, err := runAcrossDesigns(context.Background(), wl, benchOpts())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -111,7 +111,7 @@ func BenchmarkFigure9MultiProgrammed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var rows []DesignRow
 		for _, wl := range []string{"MIX1", "MIX5"} {
-			r, err := runAcrossDesigns(wl, benchOpts())
+			r, err := runAcrossDesigns(context.Background(), wl, benchOpts())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -127,7 +127,7 @@ func BenchmarkFigure9MultiProgrammed(b *testing.B) {
 // sweep (256MB/512MB/1GB at paper scale) normalized to bank interleaving.
 func BenchmarkFigure10CacheSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunFigure10(benchOpts(), []string{"MIX5"})
+		rows, err := RunFigure10(context.Background(), benchOpts(), []string{"MIX5"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func BenchmarkFigure10CacheSize(b *testing.B) {
 // victim selection for the tagless cache.
 func BenchmarkFigure11Replacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunFigure11(benchOpts(), []string{"MIX1", "MIX5"})
+		rows, err := RunFigure11(context.Background(), benchOpts(), []string{"MIX1", "MIX5"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func BenchmarkFigure12MultiThreaded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var rows []DesignRow
 		for _, wl := range []string{"streamcluster", "swaptions"} {
-			r, err := runAcrossDesigns(wl, benchOpts())
+			r, err := runAcrossDesigns(context.Background(), wl, benchOpts())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -176,7 +176,7 @@ func BenchmarkFigure12MultiThreaded(b *testing.B) {
 // page case study on GemsFDTD.
 func BenchmarkFigure13NonCacheable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		row, err := RunFigure13(benchOpts())
+		row, err := RunFigure13(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func BenchmarkFigure13NonCacheable(b *testing.B) {
 // the simulator.
 func BenchmarkAMATModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunAMATCheck(benchOpts(), []string{"sphinx3"})
+		rows, err := RunAMATCheck(context.Background(), benchOpts(), []string{"sphinx3"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +277,7 @@ func BenchmarkAblationRefresh(b *testing.B) {
 // BenchmarkExtensionSuperpages regenerates the Section 6 superpage study.
 func BenchmarkExtensionSuperpages(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunSuperpages(benchOpts(), []string{"lbm", "GemsFDTD"})
+		rows, err := RunSuperpages(context.Background(), benchOpts(), []string{"lbm", "GemsFDTD"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,7 +290,7 @@ func BenchmarkExtensionSuperpages(b *testing.B) {
 // BenchmarkExtensionSharedPages regenerates the Section 6 shared-page study.
 func BenchmarkExtensionSharedPages(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunSharedPages(benchOpts(), "MIX1", 0.15)
+		rows, err := RunSharedPages(context.Background(), benchOpts(), "MIX1", 0.15)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -303,7 +303,7 @@ func BenchmarkExtensionSharedPages(b *testing.B) {
 // BenchmarkExtensionTLBReach regenerates the victim-cache reach study.
 func BenchmarkExtensionTLBReach(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := RunTLBReach(benchOpts(), "mcf", []int{128, 512})
+		rows, err := RunTLBReach(context.Background(), benchOpts(), "mcf", []int{128, 512})
 		if err != nil {
 			b.Fatal(err)
 		}

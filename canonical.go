@@ -67,6 +67,7 @@ var semanticOptionFields = map[string]bool{
 var nonSemanticOptionFields = map[string]bool{
 	"ExtraDesigns":    true, // shapes which grid cells exist, never a cell's result
 	"Workers":         true, // jobs are isolated; parallel == serial bit-for-bit
+	"Server":          true, // where a sweep runs; remote results are byte-identical
 	"Progress":        true, // observer
 	"EpochCapacity":   true, // ring bound; drops old epochs, never changes metrics
 	"MetricsSink":     true, // observer

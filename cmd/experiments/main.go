@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"taglessdram"
@@ -33,6 +37,7 @@ func main() {
 		extra = flag.Bool("baselines", false, "add the extra organizations (Alloy, Banshee) to the design-comparison figures")
 
 		metrics = flag.String("metrics-json", "", "append every run's metric registry and epoch series as JSON lines to this file (byte-identical at any -j)")
+		server  = flag.String("server", "", "base URL of a sweepd sweep service (e.g. http://localhost:8344): every sweep is submitted there instead of simulating in-process; output is byte-identical")
 		rcache  = flag.String("result-cache", "", "persistent content-addressed result cache directory: completed runs are replayed byte-identically instead of re-simulated; editing one configuration re-simulates only its cells")
 		epoch   = flag.Uint64("epoch-refs", 0, "epoch length in measured references for time-series sampling (0 = off)")
 		prewarm = flag.Bool("prewarm", false, "share warm-state checkpoints across figures: each (workload, config, warm-up) warms up once and later runs restore it (results use the checkpointed Warmup/Measure path, so they differ slightly from the default)")
@@ -54,9 +59,24 @@ func main() {
 	}
 	defer stopProf()
 
+	// Ctrl-C (or SIGTERM) cancels the context driving every sweep:
+	// queued simulations are skipped, in-flight ones finish, and the
+	// process exits 130 below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	o := taglessdram.DefaultOptions()
 	o.Seed = *seed
 	o.Workers = *nj
+	o.Server = *server
+	if *server != "" && *prewarm {
+		fmt.Fprintln(os.Stderr, "experiments: -prewarm shares in-memory checkpoints, which cannot cross to a -server sweep service")
+		os.Exit(1)
+	}
+	if *server != "" && *rcache != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -result-cache is server-side state; with -server the service owns the cache")
+		os.Exit(1)
+	}
 	var store *taglessdram.ResultCache
 	if *rcache != "" {
 		store, err = taglessdram.OpenResultCache(*rcache)
@@ -135,38 +155,64 @@ func main() {
 	fmt.Printf("Scale: capacities and footprints ÷%d (1GB cache → %dMB); budgets %gM warmup + %gM measured instructions per core; seed %d.\n\n",
 		1<<o.Shift, 1024>>o.Shift, float64(o.Warmup)/1e6, float64(o.Measure)/1e6, o.Seed)
 
+	// With -server, report the service's cache counter delta over this
+	// invocation (the CI smoke test asserts misses=0 on a warm re-run).
+	var serverStats0 taglessdram.ServerStats
+	if *server != "" {
+		serverStats0, err = taglessdram.RemoteStats(ctx, *server)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
 	run := func(key string, f func() error) {
 		if !sel(key) {
 			return
 		}
 		if err := f(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted — queued simulations skipped")
+				stopProf()
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", key, err)
 			os.Exit(1)
 		}
 	}
 
 	run("table6", func() error { return table6() })
-	run("table1", func() error { return table1(o) })
-	run("fig7", func() error { return fig7(o) })
-	run("fig8", func() error { return fig8(o) })
-	run("fig9", func() error { return fig9(o) })
-	run("fig10", func() error { return fig10(o) })
-	run("fig11", func() error { return fig11(o) })
-	run("fig12", func() error { return fig12(o) })
-	run("fig13", func() error { return fig13(o) })
-	run("table2", func() error { return table2(o) })
-	run("shared", func() error { return sharedPages(o) })
-	run("hotfilter", func() error { return hotFilter(o) })
-	run("superpages", func() error { return superpages(o) })
-	run("tlbreach", func() error { return tlbReach(o) })
-	run("fairness", func() error { return fairness(o) })
-	run("amat", func() error { return amatCheck(o) })
-	run("latency", func() error { return latencyBreakdown(o) })
+	run("table1", func() error { return table1(ctx, o) })
+	run("fig7", func() error { return fig7(ctx, o) })
+	run("fig8", func() error { return fig8(ctx, o) })
+	run("fig9", func() error { return fig9(ctx, o) })
+	run("fig10", func() error { return fig10(ctx, o) })
+	run("fig11", func() error { return fig11(ctx, o) })
+	run("fig12", func() error { return fig12(ctx, o) })
+	run("fig13", func() error { return fig13(ctx, o) })
+	run("table2", func() error { return table2(ctx, o) })
+	run("shared", func() error { return sharedPages(ctx, o) })
+	run("hotfilter", func() error { return hotFilter(ctx, o) })
+	run("superpages", func() error { return superpages(ctx, o) })
+	run("tlbreach", func() error { return tlbReach(ctx, o) })
+	run("fairness", func() error { return fairness(ctx, o) })
+	run("amat", func() error { return amatCheck(ctx, o) })
+	run("latency", func() error { return latencyBreakdown(ctx, o) })
 
 	if store != nil {
 		st := store.Stats()
 		fmt.Fprintf(os.Stderr, "result cache: hits=%d misses=%d stored=%d evicted=%d\n",
 			st.Hits, st.Misses, st.Stored, st.Evicted)
+	}
+	if *server != "" {
+		st, err := taglessdram.RemoteStats(ctx, *server)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "server result cache: hits=%d misses=%d stored=%d evicted=%d\n",
+			st.Hits-serverStats0.Hits, st.Misses-serverStats0.Misses,
+			st.Stored-serverStats0.Stored, st.Evicted-serverStats0.Evicted)
 	}
 }
 
@@ -181,8 +227,8 @@ func table6() error {
 	return nil
 }
 
-func table1(o taglessdram.Options) error {
-	rows, err := taglessdram.RunTable1(o)
+func table1(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunTable1(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -247,8 +293,8 @@ func designTable(title string, rows []taglessdram.DesignRow) {
 	}
 }
 
-func fig7(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFigure7(o)
+func fig7(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFigure7(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -256,8 +302,8 @@ func fig7(o taglessdram.Options) error {
 	return nil
 }
 
-func fig8(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFigure8(o)
+func fig8(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFigure8(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -280,8 +326,8 @@ func fig8(o taglessdram.Options) error {
 	return nil
 }
 
-func fig9(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFigure9(o)
+func fig9(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFigure9(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -289,8 +335,8 @@ func fig9(o taglessdram.Options) error {
 	return nil
 }
 
-func fig10(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFigure10(o, nil)
+func fig10(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFigure10(ctx, o, nil)
 	if err != nil {
 		return err
 	}
@@ -303,8 +349,8 @@ func fig10(o taglessdram.Options) error {
 	return nil
 }
 
-func fig11(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFigure11(o, nil)
+func fig11(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFigure11(ctx, o, nil)
 	if err != nil {
 		return err
 	}
@@ -322,8 +368,8 @@ func fig11(o taglessdram.Options) error {
 	return nil
 }
 
-func fig12(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFigure12(o)
+func fig12(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFigure12(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -331,8 +377,8 @@ func fig12(o taglessdram.Options) error {
 	return nil
 }
 
-func fig13(o taglessdram.Options) error {
-	r, err := taglessdram.RunFigure13(o)
+func fig13(ctx context.Context, o taglessdram.Options) error {
+	r, err := taglessdram.RunFigure13(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -344,8 +390,8 @@ func fig13(o taglessdram.Options) error {
 	return nil
 }
 
-func table2(o taglessdram.Options) error {
-	rows, err := taglessdram.RunTable2(o, "")
+func table2(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunTable2(ctx, o, "")
 	if err != nil {
 		return err
 	}
@@ -359,8 +405,8 @@ func table2(o taglessdram.Options) error {
 	return nil
 }
 
-func sharedPages(o taglessdram.Options) error {
-	rows, err := taglessdram.RunSharedPages(o, "MIX1", 0.15)
+func sharedPages(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunSharedPages(ctx, o, "MIX1", 0.15)
 	if err != nil {
 		return err
 	}
@@ -375,8 +421,8 @@ func sharedPages(o taglessdram.Options) error {
 	return nil
 }
 
-func hotFilter(o taglessdram.Options) error {
-	rows, err := taglessdram.RunHotFilter(o, "GemsFDTD", nil)
+func hotFilter(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunHotFilter(ctx, o, "GemsFDTD", nil)
 	if err != nil {
 		return err
 	}
@@ -393,8 +439,8 @@ func hotFilter(o taglessdram.Options) error {
 	return nil
 }
 
-func superpages(o taglessdram.Options) error {
-	rows, err := taglessdram.RunSuperpages(o, nil)
+func superpages(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunSuperpages(ctx, o, nil)
 	if err != nil {
 		return err
 	}
@@ -408,8 +454,8 @@ func superpages(o taglessdram.Options) error {
 	return nil
 }
 
-func tlbReach(o taglessdram.Options) error {
-	rows, err := taglessdram.RunTLBReach(o, "mcf", nil)
+func tlbReach(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunTLBReach(ctx, o, "mcf", nil)
 	if err != nil {
 		return err
 	}
@@ -423,8 +469,8 @@ func tlbReach(o taglessdram.Options) error {
 	return nil
 }
 
-func fairness(o taglessdram.Options) error {
-	rows, err := taglessdram.RunFairness(o, "MIX5")
+func fairness(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunFairness(ctx, o, "MIX5")
 	if err != nil {
 		return err
 	}
@@ -437,8 +483,8 @@ func fairness(o taglessdram.Options) error {
 	return nil
 }
 
-func amatCheck(o taglessdram.Options) error {
-	rows, err := taglessdram.RunAMATCheck(o, nil)
+func amatCheck(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunAMATCheck(ctx, o, nil)
 	if err != nil {
 		return err
 	}
@@ -455,8 +501,8 @@ func amatCheck(o taglessdram.Options) error {
 	return nil
 }
 
-func latencyBreakdown(o taglessdram.Options) error {
-	rows, err := taglessdram.RunLatencyBreakdown(o, "sphinx3")
+func latencyBreakdown(ctx context.Context, o taglessdram.Options) error {
+	rows, err := taglessdram.RunLatencyBreakdown(ctx, o, "sphinx3")
 	if err != nil {
 		return err
 	}

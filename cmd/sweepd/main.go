@@ -1,0 +1,74 @@
+// Command sweepd serves the sweep service: a long-running HTTP server
+// that accepts experiment grids (POST /v1/sweep), runs them through the
+// shared result cache and single-flight memo, and streams progress and
+// bit-identical results back as JSON-lines. See the README's "Sweep
+// service" section for the protocol and curl examples.
+//
+// Shutdown: the first SIGINT/SIGTERM drains — new sweeps get 503,
+// in-flight sweeps run to completion, then the process exits 0. A second
+// signal hard-cancels: queued jobs are skipped, running simulations
+// finish, streams end with an error event.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taglessdram"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8344", "listen address")
+	cacheDir := flag.String("result-cache", "sweepd.cache", "result cache directory (shared, persistent)")
+	workers := flag.Int("j", 0, "max concurrent simulations per sweep (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", taglessdram.DefaultMaxJobs, "max jobs per request")
+	flag.Parse()
+
+	log.SetPrefix("sweepd: ")
+	log.SetFlags(log.LstdFlags)
+
+	store, err := taglessdram.OpenResultCache(*cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := taglessdram.NewSweepServer(store, *workers, *maxJobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Print("draining: refusing new sweeps, waiting for in-flight sweeps (signal again to cancel them)")
+		go func() {
+			<-sigs
+			log.Print("cancelling in-flight sweeps")
+			svc.Cancel()
+		}()
+		svc.Drain()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Print("shutdown: ", err)
+		}
+	}()
+
+	log.Printf("serving on http://%s (result cache %s, entries=%d)", *addr, *cacheDir, store.Len())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	log.Print("drained, exiting")
+}

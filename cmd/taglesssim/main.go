@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"taglessdram"
@@ -67,6 +69,17 @@ func main() {
 	}
 	defer stopProf()
 
+	// A single run has no queue to drain: Ctrl-C flushes any profiles and
+	// exits with the conventional interrupt status.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "taglesssim: interrupted")
+		stopProf()
+		os.Exit(130)
+	}()
+
 	if *list {
 		fmt.Println("SPEC (single-programmed):", strings.Join(taglessdram.SPECWorkloads(), " "))
 		fmt.Println("Mixes (multi-programmed):", strings.Join(taglessdram.MixWorkloads(), " "))
@@ -74,7 +87,7 @@ func main() {
 		return
 	}
 
-	d, err := parseDesign(*design)
+	d, err := taglessdram.ParseDesign(*design)
 	if err != nil {
 		fatal(err)
 	}
@@ -320,17 +333,6 @@ func printSparklines(r *taglessdram.Result) {
 		fmt.Fprintf(os.Stderr, "  %-15s %s  [%.3g, %.3g]\n",
 			s.name, textplot.Sparkline(xs, width), lo, hi)
 	}
-}
-
-func parseDesign(s string) (taglessdram.Design, error) {
-	names := make([]string, 0, 8)
-	for _, d := range taglessdram.Organizations() {
-		if strings.EqualFold(d.String(), s) {
-			return d, nil
-		}
-		names = append(names, d.String())
-	}
-	return 0, fmt.Errorf("unknown design %q (want %s)", s, strings.Join(names, ", "))
 }
 
 func fmtIPCs(xs []float64) string {

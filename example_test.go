@@ -1,6 +1,7 @@
 package taglessdram_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func ExampleRun() {
 
 // ExampleRunFigure8 regenerates the paper's average-L3-latency comparison.
 func ExampleRunFigure8() {
-	rows, err := taglessdram.RunFigure8(taglessdram.DefaultOptions())
+	rows, err := taglessdram.RunFigure8(context.Background(), taglessdram.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 	fmt.Printf("DRAM-cache size sweep on %s (normalized to bank interleaving)\n\n", mix)
 	fmt.Printf("%-22s %10s %10s\n", "cache (paper scale)", "SRAM/BI", "cTLB/BI")
 
-	rows, err := taglessdram.RunFigure10(opts, []string{mix})
+	rows, err := taglessdram.RunFigure10(context.Background(), opts, []string{mix})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -77,7 +77,7 @@ func designRows(workload string, designs []Design, res []*Result) ([]DesignRow, 
 // runDesignGrid sweeps the full (workload × design) grid concurrently and
 // returns the rows in the serial order: all designs of workloads[0], then
 // workloads[1], and so on.
-func runDesignGrid(workloads []string, o Options) ([]DesignRow, error) {
+func runDesignGrid(ctx context.Context, workloads []string, o Options) ([]DesignRow, error) {
 	designs := append(Designs(), o.ExtraDesigns...)
 	jobs := make([]Job, 0, len(workloads)*len(designs))
 	for _, wl := range workloads {
@@ -85,7 +85,7 @@ func runDesignGrid(workloads []string, o Options) ([]DesignRow, error) {
 			jobs = append(jobs, Job{Design: d, Workload: wl, Options: o})
 		}
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -101,14 +101,14 @@ func runDesignGrid(workloads []string, o Options) ([]DesignRow, error) {
 }
 
 // runAcrossDesigns measures all five designs for one workload.
-func runAcrossDesigns(workload string, o Options) ([]DesignRow, error) {
-	return runDesignGrid([]string{workload}, o)
+func runAcrossDesigns(ctx context.Context, workload string, o Options) ([]DesignRow, error) {
+	return runDesignGrid(ctx, []string{workload}, o)
 }
 
 // RunFigure7 reproduces Figure 7: normalized IPC and EDP of the 11
 // single-programmed SPEC workloads under every design.
-func RunFigure7(o Options) ([]DesignRow, error) {
-	return runDesignGrid(SPECWorkloads(), o)
+func RunFigure7(ctx context.Context, o Options) ([]DesignRow, error) {
+	return runDesignGrid(ctx, SPECWorkloads(), o)
 }
 
 // Fig8Row is one workload's average L3 access time under the two tag
@@ -122,7 +122,7 @@ type Fig8Row struct {
 
 // RunFigure8 reproduces Figure 8: average L3 access latency of the
 // SRAM-tag and tagless caches over the SPEC workloads.
-func RunFigure8(o Options) ([]Fig8Row, error) {
+func RunFigure8(ctx context.Context, o Options) ([]Fig8Row, error) {
 	wls := SPECWorkloads()
 	jobs := make([]Job, 0, 2*len(wls))
 	for _, wl := range wls {
@@ -130,7 +130,7 @@ func RunFigure8(o Options) ([]Fig8Row, error) {
 			Job{Design: SRAMTag, Workload: wl, Options: o},
 			Job{Design: Tagless, Workload: wl, Options: o})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -147,8 +147,8 @@ func RunFigure8(o Options) ([]Fig8Row, error) {
 }
 
 // RunFigure9 reproduces Figure 9: normalized IPC and EDP of MIX1–MIX8.
-func RunFigure9(o Options) ([]DesignRow, error) {
-	return runDesignGrid(MixWorkloads(), o)
+func RunFigure9(ctx context.Context, o Options) ([]DesignRow, error) {
+	return runDesignGrid(ctx, MixWorkloads(), o)
 }
 
 // Fig10Row is one (mix, cache size) IPC pair normalized to the
@@ -163,7 +163,7 @@ type Fig10Row struct {
 
 // RunFigure10 reproduces Figure 10: sensitivity to DRAM-cache size. The
 // paper's 256MB/512MB/1GB points scale to 4/8/16MB at the default shift.
-func RunFigure10(o Options, mixes []string) ([]Fig10Row, error) {
+func RunFigure10(ctx context.Context, o Options, mixes []string) ([]Fig10Row, error) {
 	if len(mixes) == 0 {
 		mixes = MixWorkloads()
 	}
@@ -185,7 +185,7 @@ func RunFigure10(o Options, mixes []string) ([]Fig10Row, error) {
 				Job{Design: Tagless, Workload: wl, Options: oSize})
 		}
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +216,7 @@ type Fig11Row struct {
 
 // RunFigure11 reproduces Figure 11: the replacement-policy sensitivity of
 // the tagless cache.
-func RunFigure11(o Options, mixes []string) ([]Fig11Row, error) {
+func RunFigure11(ctx context.Context, o Options, mixes []string) ([]Fig11Row, error) {
 	if len(mixes) == 0 {
 		mixes = MixWorkloads()
 	}
@@ -229,7 +229,7 @@ func RunFigure11(o Options, mixes []string) ([]Fig11Row, error) {
 			jobs = append(jobs, Job{Design: Tagless, Workload: wl, Options: op})
 		}
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -248,8 +248,8 @@ func RunFigure11(o Options, mixes []string) ([]Fig11Row, error) {
 
 // RunFigure12 reproduces Figure 12: the four PARSEC multi-threaded
 // workloads across designs.
-func RunFigure12(o Options) ([]DesignRow, error) {
-	return runDesignGrid(PARSECWorkloads(), o)
+func RunFigure12(ctx context.Context, o Options) ([]DesignRow, error) {
+	return runDesignGrid(ctx, PARSECWorkloads(), o)
 }
 
 // Fig13Row is the non-cacheable-pages case study (Figure 13).
@@ -265,10 +265,10 @@ type Fig13Row struct {
 
 // RunFigure13 reproduces Figure 13: marking low-reuse pages non-cacheable
 // for GemsFDTD (the paper's threshold is 32 accesses).
-func RunFigure13(o Options) (Fig13Row, error) {
+func RunFigure13(ctx context.Context, o Options) (Fig13Row, error) {
 	onc := o
 	onc.NCAccessThreshold = 32
-	res, err := runJobs(o, []Job{
+	res, err := runJobs(ctx, o, []Job{
 		{Design: Tagless, Workload: "GemsFDTD", Options: o},
 		{Design: Tagless, Workload: "GemsFDTD", Options: onc},
 	})
@@ -307,10 +307,10 @@ type Table1Row struct {
 // row, since that policy diverts the same singleton pages around the
 // cache. Pending-update waits require concurrent threads faulting on one
 // page and may legitimately be absent.
-func RunTable1(o Options) ([]Table1Row, error) {
+func RunTable1(ctx context.Context, o Options) ([]Table1Row, error) {
 	onc := o
 	onc.NCAccessThreshold = 32
-	res, err := runJobs(o, []Job{
+	res, err := runJobs(ctx, o, []Job{
 		{Design: Tagless, Workload: "mcf", Options: o},
 		{Design: Tagless, Workload: "mcf", Options: onc},
 	})
@@ -354,7 +354,7 @@ type Table2Row struct {
 }
 
 // RunTable2 measures the design-comparison table on one mix.
-func RunTable2(o Options, workload string) ([]Table2Row, error) {
+func RunTable2(ctx context.Context, o Options, workload string) ([]Table2Row, error) {
 	if workload == "" {
 		workload = "MIX3"
 	}
@@ -363,7 +363,7 @@ func RunTable2(o Options, workload string) ([]Table2Row, error) {
 	for _, d := range designs {
 		jobs = append(jobs, Job{Design: d, Workload: workload, Options: o})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +427,7 @@ type AMATRow struct {
 // RunAMATCheck feeds each workload's measured rates into the closed-form
 // AMAT model and reports the relative error against the simulated average
 // L3 latency.
-func RunAMATCheck(o Options, workloads []string) ([]AMATRow, error) {
+func RunAMATCheck(ctx context.Context, o Options, workloads []string) ([]AMATRow, error) {
 	if len(workloads) == 0 {
 		workloads = []string{"sphinx3", "libquantum", "GemsFDTD"}
 	}
@@ -439,7 +439,7 @@ func RunAMATCheck(o Options, workloads []string) ([]AMATRow, error) {
 			Job{Design: SRAMTag, Workload: wl, Options: o},
 			Job{Design: Tagless, Workload: wl, Options: o})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -512,7 +512,7 @@ type LatencyRow struct {
 // every registered organization on one workload (the observability
 // companion to Figure 8: not just *that* the tagless cache is faster,
 // but *where* the cycles go).
-func RunLatencyBreakdown(o Options, workload string) ([]LatencyRow, error) {
+func RunLatencyBreakdown(ctx context.Context, o Options, workload string) ([]LatencyRow, error) {
 	if workload == "" {
 		workload = "sphinx3"
 	}
@@ -521,7 +521,7 @@ func RunLatencyBreakdown(o Options, workload string) ([]LatencyRow, error) {
 	for _, d := range designs {
 		jobs = append(jobs, Job{Design: d, Workload: workload, Options: o})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -572,7 +572,7 @@ type SharedPageRow struct {
 // baseline (physical indexing shares naturally), the tagless default
 // (shared pages marked non-cacheable, Section 3.5), and the tagless cache
 // with the alias table (Section 6).
-func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow, error) {
+func RunSharedPages(ctx context.Context, o Options, mix string, sharedFrac float64) ([]SharedPageRow, error) {
 	if mix == "" {
 		mix = "MIX1"
 	}
@@ -593,7 +593,7 @@ func RunSharedPages(o Options, mix string, sharedFrac float64) ([]SharedPageRow,
 	// they go straight to the generic engine rather than through Job/Run —
 	// runWorkload still gives them result-cache read-through, since the
 	// trace digest covers the modified per-core profiles.
-	res, err := sweep.Run(context.Background(), variants, func(_ context.Context, v variant) (*Result, error) {
+	res, err := sweep.Run(ctx, variants, func(_ context.Context, v variant) (*Result, error) {
 		w, err := system.Mix(mix, o.Shift, o.Seed)
 		if err != nil {
 			return nil, err
@@ -647,7 +647,7 @@ type HotFilterRow struct {
 // low-reuse workload: higher thresholds keep more cold pages out of the
 // cache, trading block-granularity off-package accesses for avoided
 // page-granularity over-fetch.
-func RunHotFilter(o Options, workload string, thresholds []int) ([]HotFilterRow, error) {
+func RunHotFilter(ctx context.Context, o Options, workload string, thresholds []int) ([]HotFilterRow, error) {
 	if workload == "" {
 		workload = "GemsFDTD"
 	}
@@ -660,7 +660,7 @@ func RunHotFilter(o Options, workload string, thresholds []int) ([]HotFilterRow,
 		oo.HotFilterThreshold = th
 		jobs = append(jobs, Job{Design: Tagless, Workload: workload, Options: oo})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -694,7 +694,7 @@ type SuperpageRow struct {
 // walk counts, but amplifies over-fetch for low-locality programs — the
 // judicious-application trade-off the paper describes. Low-reuse pages are
 // always non-cacheable under superpages (the paper's safety valve).
-func RunSuperpages(o Options, workloads []string) ([]SuperpageRow, error) {
+func RunSuperpages(ctx context.Context, o Options, workloads []string) ([]SuperpageRow, error) {
 	if len(workloads) == 0 {
 		// One high-spatial-locality streaming program and one
 		// pointer-chasing program with poor within-region locality.
@@ -708,7 +708,7 @@ func RunSuperpages(o Options, workloads []string) ([]SuperpageRow, error) {
 			Job{Design: Tagless, Workload: wl, Options: o},
 			Job{Design: Tagless, Workload: wl, Options: osp})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -742,7 +742,7 @@ type TLBReachRow struct {
 // RunTLBReach sweeps the L2 TLB capacity to show the paper's premise: the
 // cache region beyond the TLB reach works as a victim cache, so shrinking
 // the TLB trades pure cTLB hits for victim hits — not for misses.
-func RunTLBReach(o Options, workload string, entries []int) ([]TLBReachRow, error) {
+func RunTLBReach(ctx context.Context, o Options, workload string, entries []int) ([]TLBReachRow, error) {
 	if workload == "" {
 		workload = "mcf"
 	}
@@ -755,7 +755,7 @@ func RunTLBReach(o Options, workload string, entries []int) ([]TLBReachRow, erro
 		oo.L2TLBEntries = n
 		jobs = append(jobs, Job{Design: Tagless, Workload: workload, Options: oo})
 	}
-	res, err := runJobs(o, jobs)
+	res, err := runJobs(ctx, o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -791,7 +791,7 @@ type FairnessRow struct {
 // RunFairness measures weighted and harmonic speedups for a mix across the
 // cache designs, the standard multiprogrammed methodology complementing
 // the paper's aggregate IPC bars.
-func RunFairness(o Options, mix string) ([]FairnessRow, error) {
+func RunFairness(ctx context.Context, o Options, mix string) ([]FairnessRow, error) {
 	if mix == "" {
 		mix = "MIX5"
 	}
@@ -804,7 +804,7 @@ func RunFairness(o Options, mix string) ([]FairnessRow, error) {
 	for i, d := range designs {
 		mixJobs[i] = Job{Design: d, Workload: mix, Options: o}
 	}
-	mixRes, err := runJobs(o, mixJobs)
+	mixRes, err := runJobs(ctx, o, mixJobs)
 	if err != nil {
 		return nil, err
 	}
@@ -822,7 +822,7 @@ func RunFairness(o Options, mix string) ([]FairnessRow, error) {
 			alones = append(alones, aloneJob{d, i, prog})
 		}
 	}
-	aloneRes, err := sweep.Run(context.Background(), alones, func(_ context.Context, j aloneJob) (*Result, error) {
+	aloneRes, err := sweep.Run(ctx, alones, func(_ context.Context, j aloneJob) (*Result, error) {
 		w, err := system.SingleProgramOn(j.prog, 1, o.Shift, o.Seed+uint64(j.idx)*7919)
 		if err != nil {
 			return nil, err

@@ -217,6 +217,16 @@ func (s *Store) Len() int {
 	return len(matches)
 }
 
+// Encode renders a Result in the cache's own payload codec. The bytes
+// are exactly what a cache entry's payload carries, so a Decode on the
+// far side of any transport (the sweep service streams them base64-coded
+// inside JSON events) reconstructs the Result bit-identically — the same
+// guarantee a cache hit gives.
+func Encode(r *system.Result) ([]byte, error) { return encodeResult(r) }
+
+// Decode reverses Encode.
+func Decode(payload []byte) (*system.Result, error) { return decodeResult(payload) }
+
 // encodeResult/decodeResult are the payload codec: plain gob of the
 // Result value. Every field of system.Result (and its nested metric
 // types) either exports its state or, like lat.Hist, implements the gob
@@ -268,6 +278,21 @@ type call struct {
 // NewFlight returns an empty single-flight memo.
 func NewFlight() *Flight {
 	return &Flight{calls: make(map[Key]*call)}
+}
+
+// Forget drops key's memoized call, so the next Do runs fn again instead
+// of replaying the remembered outcome. Callers already waiting on the
+// forgotten call still receive its result — they hold the call, not the
+// map slot. Long-lived owners (the sweep service keeps one Flight for
+// its whole lifetime) forget each key as soon as its run completes: the
+// persistent store serves later duplicates, concurrent ones still share
+// one execution, and the memo stops pinning every Result ever computed —
+// including failed calls, which would otherwise replay their error
+// forever.
+func (f *Flight) Forget(key Key) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
 }
 
 // Do runs fn under key, deduplicating against concurrent and past calls

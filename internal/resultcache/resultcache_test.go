@@ -266,3 +266,150 @@ func TestConcurrentPutGetOneKey(t *testing.T) {
 		t.Fatalf("Len = %d, want 1", s.Len())
 	}
 }
+
+// TestForgetDropsMemoButNotWaiters: Forget makes the next Do run fn
+// again (both after success and after a memoized error), while callers
+// already blocked on the forgotten call still receive its outcome.
+func TestForgetDropsMemoButNotWaiters(t *testing.T) {
+	f := NewFlight()
+	key := KeyOf("job")
+
+	// Memoized success re-runs after Forget.
+	if _, _, err := f.Do(key, func() (*system.Result, error) { return sampleResult(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	f.Forget(key)
+	reran := false
+	if _, shared, err := f.Do(key, func() (*system.Result, error) {
+		reran = true
+		return sampleResult(), nil
+	}); err != nil || shared {
+		t.Fatalf("post-Forget Do = shared %t, err %v", shared, err)
+	}
+	if !reran {
+		t.Fatal("forgotten key replayed the old call")
+	}
+
+	// Memoized errors are forgettable too — a long-lived Flight must not
+	// replay a transient failure forever.
+	bad := KeyOf("bad")
+	boom := errors.New("boom")
+	f.Do(bad, func() (*system.Result, error) { return nil, boom })
+	f.Forget(bad)
+	if _, _, err := f.Do(bad, func() (*system.Result, error) { return sampleResult(), nil }); err != nil {
+		t.Fatalf("error stayed memoized across Forget: %v", err)
+	}
+
+	// Forgetting a call mid-flight closes its dedup window: a later Do
+	// starts a fresh execution while the forgotten leader completes
+	// independently (its Do still returns its own result).
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	slow := KeyOf("slow")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	leaderOK := false
+	go func() {
+		defer wg.Done()
+		r, shared, err := f.Do(slow, func() (*system.Result, error) {
+			close(entered)
+			<-gate
+			return sampleResult(), nil
+		})
+		leaderOK = r != nil && !shared && err == nil
+	}()
+	<-entered
+	f.Forget(slow)
+	second := false
+	if _, shared, err := f.Do(slow, func() (*system.Result, error) {
+		second = true
+		return sampleResult(), nil
+	}); err != nil || shared {
+		t.Fatalf("Do after mid-flight Forget = shared %t, err %v", shared, err)
+	}
+	if !second {
+		t.Fatal("mid-flight Forget did not close the dedup window")
+	}
+	close(gate)
+	wg.Wait()
+	if !leaderOK {
+		t.Fatal("forgotten leader lost its own result")
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the exported codec: Decode(Encode(r))
+// carries exactly what a cache hit would (the sweep service streams
+// results through this pair).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleResult()
+	payload, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != want.Workload || got.References != want.References ||
+		got.Cycles != want.Cycles || len(got.PerCoreIPC) != 2 || got.PerCoreIPC[1] != 0.75 {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	if _, err := Decode([]byte("junk")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+// TestStatsRaceFreeUnderTraffic pins the Stats counters as safe to read
+// concurrently with cache traffic — the -progress callback reads
+// hit/miss counts from worker goroutines mid-sweep. The assertion is the
+// race detector itself (CI runs this file under -race) plus monotonic
+// snapshots.
+func TestStatsRaceFreeUnderTraffic(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			key := KeyOf(string(rune('a' + w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					s.Put(key, "traffic", sampleResult())
+				}
+				s.Get(key)
+				s.Get(KeyOf("always-missing"))
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var prev Stats
+			for i := 0; i < 2000; i++ {
+				st := s.Stats()
+				if st.Hits < prev.Hits || st.Misses < prev.Misses ||
+					st.Stored < prev.Stored || st.Evicted < prev.Evicted {
+					t.Errorf("stats went backwards: %+v -> %+v", prev, st)
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+	// The readers drive the test's duration; the writers stop when the
+	// readers have seen their fill of snapshots.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

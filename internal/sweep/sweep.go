@@ -23,6 +23,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -170,10 +171,30 @@ func (s *state[J, R]) progress() {
 		return
 	}
 	p := Progress{Done: s.done, Total: len(s.jobs), Elapsed: time.Since(s.start)}
-	if rest := p.Total - p.Done; rest > 0 && p.Done > 0 {
-		p.ETA = p.Elapsed / time.Duration(p.Done) * time.Duration(rest)
-	}
+	p.ETA = ETA(p.Done, p.Total, p.Elapsed)
 	s.opt.OnProgress(p)
+}
+
+// ETA extrapolates the remaining wall-clock time of a sweep from the mean
+// job duration so far. The boundaries are guarded so a caller can feed it
+// any snapshot: zero done (nothing to extrapolate from yet), zero or
+// negative elapsed (the clock hasn't advanced — a first job served from
+// cache can complete in under the timer resolution), and done >= total
+// all report zero rather than dividing by zero or extrapolating garbage;
+// an extrapolation beyond the representable range saturates instead of
+// overflowing into a negative duration.
+func ETA(done, total int, elapsed time.Duration) time.Duration {
+	rest := total - done
+	if done <= 0 || rest <= 0 || elapsed <= 0 {
+		return 0
+	}
+	// Float math: the int64 form elapsed/done*rest overflows for long
+	// sweeps with many queued jobs.
+	eta := float64(elapsed) / float64(done) * float64(rest)
+	if eta >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return time.Duration(eta)
 }
 
 // serial runs the jobs on the calling goroutine ( -j 1 ).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -244,6 +245,46 @@ func TestProgressETA(t *testing.T) {
 	}
 	if last.Elapsed <= 0 {
 		t.Errorf("final Elapsed = %v, want > 0", last.Elapsed)
+	}
+}
+
+// TestETABoundaries pins the extrapolation guards: no division by zero on
+// an empty denominator, no extrapolation before the clock has advanced or
+// after the sweep is done, and saturation instead of overflow on inputs
+// that would wrap int64.
+func TestETABoundaries(t *testing.T) {
+	huge := time.Duration(1<<62 - 1)
+	cases := []struct {
+		name        string
+		done, total int
+		elapsed     time.Duration
+		want        time.Duration
+	}{
+		{"zero done", 0, 10, time.Second, 0},
+		{"negative done", -1, 10, time.Second, 0},
+		{"zero elapsed first callback", 1, 10, 0, 0},
+		{"negative elapsed", 1, 10, -time.Second, 0},
+		{"all done", 10, 10, time.Second, 0},
+		{"done beyond total", 11, 10, time.Second, 0},
+		{"zero total", 0, 0, time.Second, 0},
+		{"steady halfway", 5, 10, 10 * time.Second, 10 * time.Second},
+		{"one of two", 1, 2, 3 * time.Second, 3 * time.Second},
+		{"overflow saturates", 1, 1 << 30, huge, time.Duration(math.MaxInt64)},
+	}
+	for _, c := range cases {
+		if got := ETA(c.done, c.total, c.elapsed); got != c.want {
+			t.Errorf("%s: ETA(%d, %d, %v) = %v, want %v", c.name, c.done, c.total, c.elapsed, got, c.want)
+		}
+	}
+	// Any extrapolation from sane inputs must be non-negative.
+	for done := 0; done <= 4; done++ {
+		for total := 0; total <= 4; total++ {
+			for _, e := range []time.Duration{0, 1, time.Millisecond, huge} {
+				if eta := ETA(done, total, e); eta < 0 {
+					t.Fatalf("ETA(%d, %d, %v) = %v, negative", done, total, e, eta)
+				}
+			}
+		}
 	}
 }
 

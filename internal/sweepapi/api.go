@@ -1,0 +1,157 @@
+// Package sweepapi defines the wire protocol of the sweep service
+// (cmd/sweepd): the JSON request that names an experiment grid and the
+// JSON-lines event stream the server answers with. It is pure data — the
+// root taglessdram package converts to and from its native Job/Options
+// types on both sides of the connection, so the two never drift apart
+// (the conversion is pinned by a fingerprint round-trip test).
+//
+// Protocol summary:
+//
+//	POST /v1/sweep   body: Request        → 200 + JSON-lines Event stream
+//	                                      → 4xx/5xx + {"error": "..."}
+//	GET  /v1/stats                        → StatsReply
+//	GET  /v1/healthz                      → 200 "ok" | 503 "draining"
+//
+// A sweep response streams one Event per line: one "accepted", then
+// interleaved "progress" events as jobs complete, then — on success —
+// one "result" per job in submission order followed by one "done", or a
+// single terminal "error". Result payloads are the result cache's own
+// gob encoding (base64 inside JSON), so a decoded result is
+// bit-identical to what an in-process run would have produced.
+package sweepapi
+
+// Job names one cell of a sweep: a design, a workload, and optionally
+// its own options (defaulting to the request-level options).
+type Job struct {
+	// Design is the organization name as the CLIs spell it:
+	// NoL3 | BI | SRAM | cTLB | Ideal | Alloy | Banshee.
+	Design string `json:"design"`
+	// Workload is a SPEC program, MIX1-MIX8, or a PARSEC program.
+	Workload string `json:"workload"`
+	// Options overrides the request-level options for this job only.
+	Options *Options `json:"options,omitempty"`
+}
+
+// Request is the body of POST /v1/sweep: a design × workload grid,
+// explicit extra cells, or both.
+type Request struct {
+	// Designs × Workloads is the grid sugar: every pairing becomes one
+	// job (workload-major, matching the in-process figure runners).
+	Designs   []string `json:"designs,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// Options are the base simulation options for grid cells and for
+	// explicit jobs that carry none. Omitted = the server's defaults
+	// (taglessdram.DefaultOptions).
+	Options *Options `json:"options,omitempty"`
+	// Jobs appends explicit cells after the grid, in order.
+	Jobs []Job `json:"jobs,omitempty"`
+	// Workers bounds concurrent simulations for this sweep; 0 means the
+	// server's default. The server clamps it to its own -j ceiling.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Options mirrors the semantic fields of taglessdram.Options — exactly
+// the fields that enter a job's cache fingerprint. Non-semantic fields
+// (Workers, observers, the cache handle) and the checkpoint-file options
+// never cross the wire: the former are request- or client-local, the
+// latter depend on server-local file state the fingerprint cannot see.
+type Options struct {
+	Shift               uint    `json:"shift"`
+	Warmup              uint64  `json:"warmup"`
+	Measure             uint64  `json:"measure"`
+	Seed                uint64  `json:"seed"`
+	CacheMB             int64   `json:"cache_mb,omitempty"`
+	Policy              string  `json:"policy,omitempty"` // FIFO | LRU | CLOCK ("" = FIFO)
+	NCAccessThreshold   int     `json:"nc_access_threshold,omitempty"`
+	SynchronousEviction bool    `json:"synchronous_eviction,omitempty"`
+	CachedGIPT          bool    `json:"cached_gipt,omitempty"`
+	SharedAliasTable    bool    `json:"shared_alias_table,omitempty"`
+	HotFilterThreshold  int     `json:"hot_filter_threshold,omitempty"`
+	Superpages          bool    `json:"superpages,omitempty"`
+	Refresh             bool    `json:"refresh,omitempty"`
+	L2TLBEntries        int     `json:"l2_tlb_entries,omitempty"`
+	Alpha               int     `json:"alpha,omitempty"`
+	MemoryWalk          bool    `json:"memory_walk,omitempty"`
+	WalkModel           string  `json:"walk_model,omitempty"` // fixed | pwc | nested
+	PWCHitCycles        int     `json:"pwc_hit_cycles,omitempty"`
+	TLBTopology         string  `json:"tlb_topology,omitempty"` // private | shared
+	CtxSwitchRefs       uint64  `json:"ctx_switch_refs,omitempty"`
+	CtxSwitchFlush      bool    `json:"ctx_switch_flush,omitempty"`
+	MSHRs               int     `json:"mshrs,omitempty"`
+	EpochRefs           uint64  `json:"epoch_refs,omitempty"`
+	EpochCapacity       int     `json:"epoch_capacity,omitempty"`
+	Sample              *Sample `json:"sample,omitempty"`
+}
+
+// Sample mirrors taglessdram.SampleSpec (SMARTS sampled simulation).
+type Sample struct {
+	WindowRefs uint64 `json:"window_refs"`
+	PeriodRefs uint64 `json:"period_refs"`
+	WarmRefs   uint64 `json:"warm_refs,omitempty"`
+}
+
+// Event types streamed by POST /v1/sweep.
+const (
+	EventAccepted = "accepted"
+	EventProgress = "progress"
+	EventResult   = "result"
+	EventError    = "error"
+	EventDone     = "done"
+)
+
+// Event is one line of a sweep response stream. Type selects which of
+// the optional field groups is populated.
+type Event struct {
+	Type string `json:"type"`
+
+	// accepted: the validated sweep as the server will run it.
+	Jobs         int      `json:"jobs,omitempty"`
+	Workers      int      `json:"workers,omitempty"`
+	Fingerprints []string `json:"fingerprints,omitempty"`
+
+	// progress: jobs completed so far (Done of Total), wall time and
+	// extrapolated remaining time, both in milliseconds.
+	Done      int   `json:"done,omitempty"`
+	Total     int   `json:"total,omitempty"`
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	ETAMS     int64 `json:"eta_ms,omitempty"`
+
+	// result: one job's completed simulation. Result is the result
+	// cache's gob payload (encoding/json base64-codes []byte).
+	Job         int    `json:"job,omitempty"`
+	Design      string `json:"design,omitempty"`
+	Workload    string `json:"workload,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Result      []byte `json:"result,omitempty"`
+
+	// error: the sweep failed; the stream ends here.
+	Error string `json:"error,omitempty"`
+
+	// done: the sweep finished. Cache is the server store's counter
+	// delta over this request (approximate under concurrent requests,
+	// exact when the server is serving one sweep at a time).
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats is the wire form of the result cache's counters.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stored  uint64 `json:"stored"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// StatsReply is the body of GET /v1/stats: the store's lifetime
+// counters, the number of entries on disk, and the service's own
+// request counters.
+type StatsReply struct {
+	Cache   CacheStats `json:"cache"`
+	Entries int        `json:"entries"`
+	Sweeps  uint64     `json:"sweeps"`
+	SimJobs uint64     `json:"jobs"`
+}
+
+// ErrorReply is the body of every non-200 response.
+type ErrorReply struct {
+	Error string `json:"error"`
+}

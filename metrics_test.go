@@ -2,6 +2,7 @@ package taglessdram_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -157,7 +158,7 @@ func TestMetricsSinkWorkersInvariant(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if _, err := taglessdram.RunFigure11(o, []string{"MIX1", "MIX2"}); err != nil {
+		if _, err := taglessdram.RunFigure11(context.Background(), o, []string{"MIX1", "MIX2"}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()

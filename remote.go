@@ -1,0 +1,281 @@
+package taglessdram
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"taglessdram/internal/config"
+	"taglessdram/internal/resultcache"
+	"taglessdram/internal/sweepapi"
+)
+
+// ParseDesign resolves an organization by the name its String() renders
+// (NoL3, BI, SRAM, cTLB, Ideal, Alloy, Banshee), case-insensitively.
+// It is the inverse of Design.String, shared by the CLIs and the sweep
+// service's request validation.
+func ParseDesign(name string) (Design, error) {
+	names := make([]string, 0, 8)
+	for _, d := range Organizations() {
+		if strings.EqualFold(d.String(), name) {
+			return d, nil
+		}
+		names = append(names, d.String())
+	}
+	return 0, fmt.Errorf("taglessdram: unknown design %q (want %s)", name, strings.Join(names, ", "))
+}
+
+// parsePolicy maps a wire policy name to the replacement-policy enum.
+func parsePolicy(name string) (config.ReplacementPolicy, error) {
+	switch name {
+	case "", "FIFO":
+		return FIFO, nil
+	case "LRU":
+		return LRU, nil
+	case "CLOCK":
+		return CLOCK, nil
+	}
+	return 0, fmt.Errorf("taglessdram: unknown replacement policy %q (want FIFO, LRU, CLOCK)", name)
+}
+
+// wireOptions renders the semantic Options fields into their wire form.
+// Non-semantic fields (observers, Workers, the cache handle) stay local;
+// the checkpoint fields cannot cross the wire and must be rejected by the
+// caller before conversion.
+func wireOptions(o Options) *sweepapi.Options {
+	w := &sweepapi.Options{
+		Shift:               o.Shift,
+		Warmup:              o.Warmup,
+		Measure:             o.Measure,
+		Seed:                o.Seed,
+		CacheMB:             o.CacheMB,
+		NCAccessThreshold:   o.NCAccessThreshold,
+		SynchronousEviction: o.SynchronousEviction,
+		CachedGIPT:          o.CachedGIPT,
+		SharedAliasTable:    o.SharedAliasTable,
+		HotFilterThreshold:  o.HotFilterThreshold,
+		Superpages:          o.Superpages,
+		Refresh:             o.Refresh,
+		L2TLBEntries:        o.L2TLBEntries,
+		Alpha:               o.Alpha,
+		MemoryWalk:          o.MemoryWalk,
+		WalkModel:           o.WalkModel,
+		PWCHitCycles:        o.PWCHitCycles,
+		TLBTopology:         o.TLBTopology,
+		CtxSwitchRefs:       o.CtxSwitchRefs,
+		CtxSwitchFlush:      o.CtxSwitchFlush,
+		MSHRs:               o.MSHRs,
+		EpochRefs:           o.EpochRefs,
+		EpochCapacity:       o.EpochCapacity,
+	}
+	if o.Policy != FIFO {
+		w.Policy = o.Policy.String()
+	}
+	if o.Sample != nil {
+		w.Sample = &sweepapi.Sample{
+			WindowRefs: o.Sample.WindowRefs,
+			PeriodRefs: o.Sample.PeriodRefs,
+			WarmRefs:   o.Sample.WarmRefs,
+		}
+	}
+	return w
+}
+
+// optionsFromWire is the inverse of wireOptions: it rebuilds native
+// Options from their wire form. The fingerprint round-trip test pins the
+// two as exact inverses over the semantic fields, which is what keeps a
+// remote job's cache key identical to the in-process one.
+func optionsFromWire(w *sweepapi.Options) (Options, error) {
+	if w == nil {
+		return DefaultOptions(), nil
+	}
+	policy, err := parsePolicy(w.Policy)
+	if err != nil {
+		return Options{}, err
+	}
+	o := Options{
+		Shift:               w.Shift,
+		Warmup:              w.Warmup,
+		Measure:             w.Measure,
+		Seed:                w.Seed,
+		CacheMB:             w.CacheMB,
+		Policy:              policy,
+		NCAccessThreshold:   w.NCAccessThreshold,
+		SynchronousEviction: w.SynchronousEviction,
+		CachedGIPT:          w.CachedGIPT,
+		SharedAliasTable:    w.SharedAliasTable,
+		HotFilterThreshold:  w.HotFilterThreshold,
+		Superpages:          w.Superpages,
+		Refresh:             w.Refresh,
+		L2TLBEntries:        w.L2TLBEntries,
+		Alpha:               w.Alpha,
+		MemoryWalk:          w.MemoryWalk,
+		WalkModel:           w.WalkModel,
+		PWCHitCycles:        w.PWCHitCycles,
+		TLBTopology:         w.TLBTopology,
+		CtxSwitchRefs:       w.CtxSwitchRefs,
+		CtxSwitchFlush:      w.CtxSwitchFlush,
+		MSHRs:               w.MSHRs,
+		EpochRefs:           w.EpochRefs,
+		EpochCapacity:       w.EpochCapacity,
+	}
+	if w.Sample != nil {
+		o.Sample = &SampleSpec{
+			WindowRefs: w.Sample.WindowRefs,
+			PeriodRefs: w.Sample.PeriodRefs,
+			WarmRefs:   w.Sample.WarmRefs,
+		}
+	}
+	return o, nil
+}
+
+// remoteSubmittable rejects job options a sweep service cannot honor:
+// checkpoint files and in-memory checkpoint stores name server-local
+// state, and kernel-event traces need the simulation to run in-process.
+func remoteSubmittable(o Options) error {
+	if o.CheckpointSave != "" || o.CheckpointLoad != "" || o.Checkpoints != nil {
+		return fmt.Errorf("taglessdram: checkpoint options cannot be submitted to a sweep service")
+	}
+	if o.TraceEvents != nil {
+		return fmt.Errorf("taglessdram: kernel-event tracing cannot be submitted to a sweep service")
+	}
+	return nil
+}
+
+// RemoteSweep submits jobs to a sweepd sweep service at the given base
+// URL and returns one Result per job in submission order — byte-identical
+// to what Sweep would have produced in-process, because results travel as
+// the result cache's own encoding. The sweep-level Options supply the
+// requested fan-out width (Workers, clamped by the server) and the
+// Progress callback, which is fed from the server's streamed progress
+// events. Cancelling ctx aborts the request; the server then skips that
+// sweep's queued jobs.
+func RemoteSweep(ctx context.Context, server string, jobs []Job, o Options) ([]*Result, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	req := sweepapi.Request{Workers: o.Workers, Jobs: make([]sweepapi.Job, len(jobs))}
+	for i, j := range jobs {
+		if err := remoteSubmittable(j.Options); err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)
+		}
+		req.Jobs[i] = sweepapi.Job{
+			Design:   j.Design.String(),
+			Workload: j.Workload,
+			Options:  wireOptions(j.Options),
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("taglessdram: encoding sweep request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(server, "/")+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("taglessdram: sweep service: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("taglessdram: sweep service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er sweepapi.ErrorReply
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("taglessdram: sweep service: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("taglessdram: sweep service: HTTP %d", resp.StatusCode)
+	}
+
+	results := make([]*Result, len(jobs))
+	dec := json.NewDecoder(resp.Body)
+	done := false
+	for !done {
+		var ev sweepapi.Event
+		if err := dec.Decode(&ev); err != nil {
+			// Distinguish a caller cancellation from a truncated stream
+			// (server died mid-sweep): the context error is the real cause.
+			if cerr := ctx.Err(); cerr != nil {
+				return results, cerr
+			}
+			return results, fmt.Errorf("taglessdram: sweep service: stream ended early: %w", err)
+		}
+		switch ev.Type {
+		case sweepapi.EventAccepted:
+			if ev.Jobs != len(jobs) {
+				return results, fmt.Errorf("taglessdram: sweep service accepted %d jobs, submitted %d", ev.Jobs, len(jobs))
+			}
+		case sweepapi.EventProgress:
+			if o.Progress != nil {
+				o.Progress(SweepProgress{
+					Done:    ev.Done,
+					Total:   ev.Total,
+					Elapsed: time.Duration(ev.ElapsedMS) * time.Millisecond,
+					ETA:     time.Duration(ev.ETAMS) * time.Millisecond,
+				})
+			}
+		case sweepapi.EventResult:
+			if ev.Job < 0 || ev.Job >= len(jobs) {
+				return results, fmt.Errorf("taglessdram: sweep service: result for unknown job %d", ev.Job)
+			}
+			r, err := resultcache.Decode(ev.Result)
+			if err != nil {
+				return results, fmt.Errorf("taglessdram: sweep service: decoding job %d result: %w", ev.Job, err)
+			}
+			results[ev.Job] = r
+		case sweepapi.EventError:
+			return results, fmt.Errorf("%s", ev.Error)
+		case sweepapi.EventDone:
+			done = true
+		default:
+			return results, fmt.Errorf("taglessdram: sweep service: unknown event type %q", ev.Type)
+		}
+	}
+	for i, r := range results {
+		if r == nil {
+			return results, fmt.Errorf("taglessdram: sweep service: no result for job %d (%s/%v)",
+				i, jobs[i].Workload, jobs[i].Design)
+		}
+	}
+	return results, nil
+}
+
+// ServerStats is a sweep service's GET /v1/stats snapshot: the result
+// cache's lifetime counters and entry count, plus the service's own
+// request counters.
+type ServerStats struct {
+	Hits, Misses, Stored, Evicted uint64
+	Entries                       int
+	Sweeps, Jobs                  uint64
+}
+
+// RemoteStats fetches a sweep service's statistics snapshot.
+func RemoteStats(ctx context.Context, server string) (ServerStats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(server, "/")+"/v1/stats", nil)
+	if err != nil {
+		return ServerStats{}, fmt.Errorf("taglessdram: sweep service: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return ServerStats{}, fmt.Errorf("taglessdram: sweep service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ServerStats{}, fmt.Errorf("taglessdram: sweep service: HTTP %d from /v1/stats", resp.StatusCode)
+	}
+	var sr sweepapi.StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return ServerStats{}, fmt.Errorf("taglessdram: sweep service: decoding /v1/stats: %w", err)
+	}
+	return ServerStats{
+		Hits: sr.Cache.Hits, Misses: sr.Cache.Misses,
+		Stored: sr.Cache.Stored, Evicted: sr.Cache.Evicted,
+		Entries: sr.Entries, Sweeps: sr.Sweeps, Jobs: sr.SimJobs,
+	}, nil
+}

@@ -40,7 +40,18 @@ func Sweep(ctx context.Context, jobs []Job, workers int) ([]*Result, error) {
 // concurrent or later — receives a private clone of its Result instead
 // of re-simulating.
 func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, error) {
-	flight := resultcache.NewFlight()
+	return sweepRunShared(ctx, jobs, opt, resultcache.NewFlight(), false)
+}
+
+// sweepRunShared is sweepRun against a caller-owned single-flight memo,
+// so concurrent sweeps can deduplicate identical cells across each other
+// — the sweep service runs every request through one server-lifetime
+// Flight. With forget set, each key is dropped from the memo as soon as
+// its run completes: concurrent duplicates still share one execution,
+// later ones are served by the persistent result cache, and the memo
+// never pins every Result (or transient error) a long-running server
+// has ever produced.
+func sweepRunShared(ctx context.Context, jobs []Job, opt sweep.Options, flight *resultcache.Flight, forget bool) ([]*Result, error) {
 	return sweep.Run(ctx, jobs, func(_ context.Context, j Job) (*Result, error) {
 		// Per-run throughput summaries would arrive unserialized from
 		// worker goroutines; the sweep engine's own OnProgress is the
@@ -72,6 +83,12 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 			return run()
 		}
 		r, shared, err := flight.Do(key, run)
+		if forget {
+			// Idempotent: whichever of the sharers gets here first drops
+			// the memo entry; waiters already inside the call still share
+			// its result.
+			flight.Forget(key)
+		}
 		if err != nil || !shared {
 			return r, err
 		}
@@ -82,12 +99,23 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 }
 
 // runJobs is the figure/table runners' shared entry point: the fan-out
-// width and progress callback come from the sweep's own Options. When the
-// sweep-level Options carry a MetricsSink, every completed Result is
-// delivered to it in submission order after the sweep finishes — the
-// order (and therefore any serialized output) is independent of Workers.
-func runJobs(o Options, jobs []Job) ([]*Result, error) {
-	results, err := sweepRun(context.Background(), jobs, o.sweepOptions())
+// width and progress callback come from the sweep's own Options, and the
+// caller's context cancels the sweep (queued jobs are skipped, in-flight
+// jobs finish). When the sweep-level Options name a Server, the whole
+// grid is shipped to that sweep service instead of simulating locally —
+// the service's results are bit-identical, so everything downstream of
+// runJobs is oblivious to where the cells ran. When the sweep-level
+// Options carry a MetricsSink, every completed Result is delivered to it
+// in submission order after the sweep finishes — the order (and
+// therefore any serialized output) is independent of Workers.
+func runJobs(ctx context.Context, o Options, jobs []Job) ([]*Result, error) {
+	var results []*Result
+	var err error
+	if o.Server != "" {
+		results, err = RemoteSweep(ctx, o.Server, jobs, o)
+	} else {
+		results, err = sweepRun(ctx, jobs, o.sweepOptions())
+	}
 	if err == nil && o.MetricsSink != nil {
 		for _, r := range results {
 			o.MetricsSink(r)

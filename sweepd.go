@@ -1,0 +1,319 @@
+package taglessdram
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"taglessdram/internal/resultcache"
+	"taglessdram/internal/sweep"
+	"taglessdram/internal/sweepapi"
+)
+
+// maxRequestBytes bounds a sweep request body; a full design × workload
+// grid with per-job options is a few hundred KB at most.
+const maxRequestBytes = 8 << 20
+
+// DefaultMaxJobs is the default per-request job ceiling of a sweep
+// service.
+const DefaultMaxJobs = 4096
+
+// SweepServer is the sweep service behind cmd/sweepd: an http.Handler
+// that accepts experiment grids (POST /v1/sweep), shards their jobs
+// across the sweep worker pool behind one shared result cache and one
+// server-lifetime single-flight memo, and streams progress and results
+// back as JSON-lines events. Identical cells — within one request or
+// across concurrent requests — simulate exactly once: concurrent
+// duplicates share the in-flight execution, later ones replay from the
+// store.
+//
+// The zero value is not usable; construct with NewSweepServer.
+type SweepServer struct {
+	store      *ResultCache
+	flight     *resultcache.Flight
+	maxWorkers int
+	maxJobs    int
+
+	// baseCtx parents every sweep; Cancel cancels it (hard shutdown:
+	// queued jobs are skipped, in-flight simulations finish, streams end
+	// with an error event).
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// mu guards draining and the inflight Add, so a drain cannot race a
+	// request between its acceptance check and its registration.
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	sweeps  atomic.Uint64
+	simJobs atomic.Uint64
+}
+
+// NewSweepServer builds a sweep service over an open result cache.
+// maxWorkers bounds concurrent simulations per sweep (0 = GOMAXPROCS);
+// maxJobs bounds jobs per request (0 = DefaultMaxJobs).
+func NewSweepServer(store *ResultCache, maxWorkers, maxJobs int) (*SweepServer, error) {
+	if store == nil {
+		return nil, fmt.Errorf("taglessdram: sweep service needs a result cache")
+	}
+	if maxWorkers < 0 || maxJobs < 0 {
+		return nil, fmt.Errorf("taglessdram: sweep service limits must be non-negative")
+	}
+	if maxJobs == 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &SweepServer{
+		store:      store,
+		flight:     resultcache.NewFlight(),
+		maxWorkers: maxWorkers,
+		maxJobs:    maxJobs,
+		baseCtx:    ctx,
+		cancel:     cancel,
+	}, nil
+}
+
+// Drain stops accepting new sweeps (they get 503) and blocks until every
+// in-flight sweep has finished — the graceful half of shutdown. Safe to
+// call more than once.
+func (s *SweepServer) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+}
+
+// Cancel hard-cancels every in-flight sweep: queued jobs are skipped,
+// running simulations finish, and each stream ends with an error event.
+// Pair with Drain to bound shutdown time (second Ctrl-C semantics).
+func (s *SweepServer) Cancel() { s.cancel() }
+
+// begin registers an in-flight request, refusing it when draining.
+func (s *SweepServer) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// isDraining snapshots the drain flag (for /v1/healthz).
+func (s *SweepServer) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ServeHTTP implements http.Handler (see internal/sweepapi for the
+// protocol).
+func (s *SweepServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/sweep":
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		s.handleSweep(w, r)
+	case "/v1/stats":
+		s.handleStats(w)
+	case "/v1/healthz":
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	default:
+		httpError(w, http.StatusNotFound, "no such endpoint")
+	}
+}
+
+// httpError writes a structured sweepapi.ErrorReply.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(sweepapi.ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// buildJobs validates a wire request into native jobs (grid cells
+// workload-major, then explicit jobs) plus their fingerprints. Every
+// returned error is a client error (HTTP 400).
+func (s *SweepServer) buildJobs(req *sweepapi.Request) ([]Job, []string, error) {
+	if (len(req.Designs) == 0) != (len(req.Workloads) == 0) {
+		return nil, nil, fmt.Errorf("designs and workloads must be set together (the grid is their cross product)")
+	}
+	base, err := optionsFromWire(req.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	var jobs []Job
+	for _, wl := range req.Workloads {
+		for _, name := range req.Designs {
+			d, err := ParseDesign(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			jobs = append(jobs, Job{Design: d, Workload: wl, Options: base})
+		}
+	}
+	for i, wj := range req.Jobs {
+		d, err := ParseDesign(wj.Design)
+		if err != nil {
+			return nil, nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		o := base
+		if wj.Options != nil {
+			if o, err = optionsFromWire(wj.Options); err != nil {
+				return nil, nil, fmt.Errorf("job %d: %w", i, err)
+			}
+		}
+		jobs = append(jobs, Job{Design: d, Workload: wj.Workload, Options: o})
+	}
+	if len(jobs) == 0 {
+		return nil, nil, fmt.Errorf("empty sweep: no grid and no jobs")
+	}
+	if len(jobs) > s.maxJobs {
+		return nil, nil, fmt.Errorf("%d jobs exceeds this server's limit of %d", len(jobs), s.maxJobs)
+	}
+	// Fingerprint every cell up front: this validates options and
+	// workload names (unknown anything fails here, before any simulation
+	// starts) and gives the accepted event its content addresses.
+	fps := make([]string, len(jobs))
+	for i := range jobs {
+		jobs[i].Options.ResultCache = s.store
+		fp, err := jobs[i].Fingerprint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("job %d (%s/%v): %w", i, jobs[i].Workload, jobs[i].Design, err)
+		}
+		fps[i] = fp
+	}
+	return jobs, fps, nil
+}
+
+// workers clamps a requested fan-out width to the server's ceiling.
+func (s *SweepServer) workers(requested int) int {
+	if requested <= 0 {
+		return s.maxWorkers
+	}
+	if s.maxWorkers > 0 && requested > s.maxWorkers {
+		return s.maxWorkers
+	}
+	return requested
+}
+
+// sweepCtxHook, when non-nil, receives each accepted sweep's merged
+// context (request ∪ server shutdown). Cancel propagates to that context
+// through a goroutine, so tests that must observe "the hard cancel has
+// reached this sweep" wait on the context itself instead of sleeping.
+var sweepCtxHook func(context.Context)
+
+// handleSweep runs one sweep request, streaming events as they happen.
+func (s *SweepServer) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req sweepapi.Request
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	jobs, fps, err := s.buildJobs(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := s.workers(req.Workers)
+	s.sweeps.Add(1)
+	s.simJobs.Add(uint64(len(jobs)))
+
+	// From here on the response is a 200 event stream; failures become
+	// error events, not status codes.
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev *sweepapi.Event) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(&sweepapi.Event{
+		Type: sweepapi.EventAccepted,
+		Jobs: len(jobs), Workers: workers, Fingerprints: fps,
+	})
+
+	// The sweep obeys both the client (disconnects cancel r.Context())
+	// and the server's own hard shutdown.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	if sweepCtxHook != nil {
+		sweepCtxHook(ctx)
+	}
+
+	stats0 := s.store.Stats()
+	results, err := sweepRunShared(ctx, jobs, sweep.Options{
+		Workers: workers,
+		OnProgress: func(p sweep.Progress) {
+			// Serialized by the sweep engine; the handler goroutine only
+			// writes after sweepRunShared returns, so emit never races.
+			emit(&sweepapi.Event{
+				Type: sweepapi.EventProgress,
+				Done: p.Done, Total: p.Total,
+				ElapsedMS: p.Elapsed.Milliseconds(),
+				ETAMS:     p.ETA.Milliseconds(),
+			})
+		},
+	}, s.flight, true)
+	if err != nil {
+		emit(&sweepapi.Event{Type: sweepapi.EventError, Error: err.Error()})
+		return
+	}
+	for i, res := range results {
+		payload, err := resultcache.Encode(res)
+		if err != nil {
+			emit(&sweepapi.Event{Type: sweepapi.EventError,
+				Error: fmt.Sprintf("encoding job %d result: %v", i, err)})
+			return
+		}
+		emit(&sweepapi.Event{
+			Type: sweepapi.EventResult,
+			Job:  i, Design: jobs[i].Design.String(), Workload: jobs[i].Workload,
+			Fingerprint: fps[i], Result: payload,
+		})
+	}
+	stats1 := s.store.Stats()
+	emit(&sweepapi.Event{Type: sweepapi.EventDone, Cache: &sweepapi.CacheStats{
+		Hits:    stats1.Hits - stats0.Hits,
+		Misses:  stats1.Misses - stats0.Misses,
+		Stored:  stats1.Stored - stats0.Stored,
+		Evicted: stats1.Evicted - stats0.Evicted,
+	}})
+}
+
+// handleStats serves the lifetime statistics snapshot.
+func (s *SweepServer) handleStats(w http.ResponseWriter) {
+	st := s.store.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sweepapi.StatsReply{
+		Cache: sweepapi.CacheStats{
+			Hits: st.Hits, Misses: st.Misses,
+			Stored: st.Stored, Evicted: st.Evicted,
+		},
+		Entries: s.store.Len(),
+		Sweeps:  s.sweeps.Load(),
+		SimJobs: s.simJobs.Load(),
+	})
+}

@@ -1,0 +1,498 @@
+package taglessdram
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taglessdram/internal/sweepapi"
+)
+
+// newTestSweepServer starts a sweep service over a fresh result cache.
+func newTestSweepServer(t *testing.T, maxWorkers, maxJobs int) (*SweepServer, string) {
+	t.Helper()
+	store, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewSweepServer(store, maxWorkers, maxJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts.URL
+}
+
+// blockSimulations gates every machine simulation: the first one signals
+// started, and all of them wait for release before proceeding. Tests use
+// it to hold a sweep in-flight deterministically.
+func blockSimulations(t *testing.T) (started chan struct{}, release chan struct{}) {
+	t.Helper()
+	started, release = make(chan struct{}), make(chan struct{})
+	var once sync.Once
+	prev := simulateHook
+	simulateHook = func(d Design, w string) {
+		if prev != nil {
+			prev(d, w)
+		}
+		once.Do(func() { close(started) })
+		<-release
+	}
+	t.Cleanup(func() { simulateHook = prev })
+	return started, release
+}
+
+func remoteTestOpts() Options {
+	o := DefaultOptions()
+	o.Warmup, o.Measure = 50_000, 50_000
+	return o
+}
+
+// TestSweepdRejectsMalformedRequests pins the service's validation: every
+// kind of client mistake must come back as a structured 4xx ErrorReply,
+// never a 500 or a hung stream.
+func TestSweepdRejectsMalformedRequests(t *testing.T) {
+	_, url := newTestSweepServer(t, 1, 3)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"truncated JSON", `{"jobs": [`, http.StatusBadRequest},
+		{"unknown field", `{"bogus": 1}`, http.StatusBadRequest},
+		{"empty request", `{}`, http.StatusBadRequest},
+		{"designs without workloads", `{"designs": ["cTLB"]}`, http.StatusBadRequest},
+		{"workloads without designs", `{"workloads": ["sphinx3"]}`, http.StatusBadRequest},
+		{"unknown design", `{"designs": ["cTLB2"], "workloads": ["sphinx3"]}`, http.StatusBadRequest},
+		{"unknown workload", `{"designs": ["cTLB"], "workloads": ["nosuchprog"],
+			"options": {"shift": 6, "warmup": 1000, "measure": 1000, "seed": 1}}`, http.StatusBadRequest},
+		{"zero measure", `{"jobs": [{"design": "cTLB", "workload": "sphinx3",
+			"options": {"shift": 6, "warmup": 1000, "measure": 0, "seed": 1}}]}`, http.StatusBadRequest},
+		{"unknown walk model", `{"jobs": [{"design": "cTLB", "workload": "sphinx3",
+			"options": {"shift": 6, "warmup": 1000, "measure": 1000, "seed": 1, "walk_model": "psychic"}}]}`, http.StatusBadRequest},
+		{"unknown policy", `{"jobs": [{"design": "cTLB", "workload": "sphinx3",
+			"options": {"shift": 6, "warmup": 1000, "measure": 1000, "seed": 1, "policy": "MRU"}}]}`, http.StatusBadRequest},
+		{"too many jobs", `{"designs": ["NoL3", "BI", "SRAM", "cTLB", "Ideal"], "workloads": ["sphinx3"]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			var er sweepapi.ErrorReply
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("body is not an ErrorReply: %v", err)
+			}
+			if er.Error == "" {
+				t.Fatal("ErrorReply.Error is empty")
+			}
+		})
+	}
+
+	t.Run("GET sweep", func(t *testing.T) {
+		resp, err := http.Get(url + "/v1/sweep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+	t.Run("unknown endpoint", func(t *testing.T) {
+		resp, err := http.Get(url + "/v1/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+// TestRemoteSweepMatchesInProcess is the transport's core guarantee: a
+// sweep submitted to the service returns Results byte-identical to the
+// same jobs run in-process, progress events flow back, and a warm
+// re-submission is served entirely from the server's result cache.
+func TestRemoteSweepMatchesInProcess(t *testing.T) {
+	n := countSimulations(t)
+	o := remoteTestOpts()
+	jobs := []Job{
+		{Design: Tagless, Workload: "sphinx3", Options: o},
+		{Design: SRAMTag, Workload: "sphinx3", Options: o},
+	}
+	local, err := Sweep(context.Background(), jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSims := n.Load()
+
+	_, url := newTestSweepServer(t, 0, 0)
+	var progress []SweepProgress
+	ro := o
+	ro.Workers = 2
+	ro.Progress = func(p SweepProgress) { progress = append(progress, p) }
+	remote, err := RemoteSweep(context.Background(), url, jobs, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(remote), len(jobs))
+	}
+	for i := range jobs {
+		if !bytes.Equal(metricsBytes(t, remote[i]), metricsBytes(t, local[i])) {
+			t.Errorf("job %d: remote result differs from in-process run", i)
+		}
+	}
+	if len(progress) == 0 {
+		t.Error("no progress events reached the client callback")
+	} else if last := progress[len(progress)-1]; last.Done != len(jobs) || last.Total != len(jobs) {
+		t.Errorf("final progress = %d/%d, want %d/%d", last.Done, last.Total, len(jobs), len(jobs))
+	}
+	if got := n.Load() - localSims; got != int64(len(jobs)) {
+		t.Errorf("cold remote sweep ran %d simulations, want %d", got, len(jobs))
+	}
+
+	// Warm re-submission: every cell replays from the server's store.
+	before, err := RemoteStats(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simsBefore := n.Load()
+	again, err := RemoteSweep(context.Background(), url, jobs, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !bytes.Equal(metricsBytes(t, again[i]), metricsBytes(t, local[i])) {
+			t.Errorf("job %d: warm remote result differs from in-process run", i)
+		}
+	}
+	if got := n.Load() - simsBefore; got != 0 {
+		t.Errorf("warm re-submission ran %d simulations, want 0", got)
+	}
+	after, err := RemoteStats(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses := after.Misses - before.Misses; misses != 0 {
+		t.Errorf("warm re-submission missed the cache %d times, want 0", misses)
+	}
+	if hits := after.Hits - before.Hits; hits != uint64(len(jobs)) {
+		t.Errorf("warm re-submission hit the cache %d times, want %d", hits, len(jobs))
+	}
+}
+
+// TestSweepdGridExpansion checks the designs × workloads sugar against
+// the explicit-jobs form: same grid, same fingerprints, workload-major.
+func TestSweepdGridExpansion(t *testing.T) {
+	svc, _ := newTestSweepServer(t, 1, 0)
+	req := &sweepapi.Request{
+		Designs:   []string{"NoL3", "cTLB"},
+		Workloads: []string{"sphinx3", "mcf"},
+		Options:   wireOptions(remoteTestOpts()),
+	}
+	jobs, fps, err := svc.buildJobs(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := remoteTestOpts()
+	want := []Job{
+		{Design: NoL3, Workload: "sphinx3", Options: o},
+		{Design: Tagless, Workload: "sphinx3", Options: o},
+		{Design: NoL3, Workload: "mcf", Options: o},
+		{Design: Tagless, Workload: "mcf", Options: o},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("grid expanded to %d jobs, want %d", len(jobs), len(want))
+	}
+	for i := range want {
+		if jobs[i].Design != want[i].Design || jobs[i].Workload != want[i].Workload {
+			t.Errorf("jobs[%d] = %s/%v, want %s/%v",
+				i, jobs[i].Workload, jobs[i].Design, want[i].Workload, want[i].Design)
+		}
+		wantFP, err := (Job{Design: want[i].Design, Workload: want[i].Workload, Options: o}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fps[i] != wantFP {
+			t.Errorf("jobs[%d] fingerprint drifted across the wire conversion", i)
+		}
+	}
+}
+
+// TestSweepdCrossRequestSingleFlight holds a simulation in-flight while a
+// second request submits the identical cell: the two concurrent sweeps
+// must share one execution (and any later duplicate is served by the
+// store), so the machine simulates exactly once.
+func TestSweepdCrossRequestSingleFlight(t *testing.T) {
+	n := countSimulations(t)
+	started, release := blockSimulations(t)
+	_, url := newTestSweepServer(t, 0, 0)
+
+	o := remoteTestOpts()
+	jobs := []Job{{Design: Tagless, Workload: "sphinx3", Options: o}}
+	type reply struct {
+		res []*Result
+		err error
+	}
+	ch1, ch2 := make(chan reply, 1), make(chan reply, 1)
+	go func() {
+		r, err := RemoteSweep(context.Background(), url, jobs, o)
+		ch1 <- reply{r, err}
+	}()
+	<-started
+	go func() {
+		r, err := RemoteSweep(context.Background(), url, jobs, o)
+		ch2 <- reply{r, err}
+	}()
+	// Wait until the second sweep is accepted (its only job then either
+	// joins the in-flight call or, if it arrives late, hits the store —
+	// both paths simulate zero additional machines).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := RemoteStats(context.Background(), url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Sweeps >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second sweep never accepted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+	r1, r2 := <-ch1, <-ch2
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("sweep errors: %v, %v", r1.err, r2.err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("two concurrent identical sweeps ran %d simulations, want 1", got)
+	}
+	if !bytes.Equal(metricsBytes(t, r1.res[0]), metricsBytes(t, r2.res[0])) {
+		t.Error("concurrent duplicate requests returned different results")
+	}
+}
+
+// TestSweepdGracefulDrain pins the SIGTERM path: once draining, new
+// sweeps get 503 while the in-flight sweep runs to completion, and Drain
+// returns only after it has.
+func TestSweepdGracefulDrain(t *testing.T) {
+	started, release := blockSimulations(t)
+	svc, url := newTestSweepServer(t, 0, 0)
+
+	o := remoteTestOpts()
+	jobs := []Job{{Design: Tagless, Workload: "sphinx3", Options: o}}
+	type reply struct {
+		res []*Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		r, err := RemoteSweep(context.Background(), url, jobs, o)
+		ch <- reply{r, err}
+	}()
+	<-started
+
+	drained := make(chan struct{})
+	go func() {
+		svc.Drain()
+		close(drained)
+	}()
+	// Drain flips the flag before blocking on the in-flight sweep; wait
+	// for the health endpoint to report it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := RemoteSweep(context.Background(), url, jobs, o); err == nil ||
+		!strings.Contains(err.Error(), "draining") {
+		t.Fatalf("sweep during drain: err = %v, want a draining refusal", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a sweep was still in flight")
+	default:
+	}
+
+	close(release)
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("in-flight sweep failed during drain: %v", r.err)
+	}
+	if len(r.res) != 1 || r.res[0] == nil {
+		t.Fatal("in-flight sweep did not deliver its result")
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return after the in-flight sweep finished")
+	}
+}
+
+// TestSweepdHardCancel pins the second-signal path: Cancel skips queued
+// jobs (the in-flight one finishes) and the client sees a context
+// cancellation instead of fabricated results.
+func TestSweepdHardCancel(t *testing.T) {
+	n := countSimulations(t)
+	started, release := blockSimulations(t)
+	svc, url := newTestSweepServer(t, 1, 0)
+
+	o := remoteTestOpts()
+	o.Workers = 1
+	jobs := []Job{
+		{Design: Tagless, Workload: "sphinx3", Options: o},
+		{Design: SRAMTag, Workload: "sphinx3", Options: o},
+	}
+	ctxCh := make(chan context.Context, 1)
+	prevHook := sweepCtxHook
+	sweepCtxHook = func(ctx context.Context) { ctxCh <- ctx }
+	t.Cleanup(func() { sweepCtxHook = prevHook })
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := RemoteSweep(context.Background(), url, jobs, o)
+		errCh <- err
+	}()
+	<-started
+	reqCtx := <-ctxCh
+	svc.Cancel()
+	// Cancel reaches the sweep through a goroutine; wait for it to land
+	// before letting the in-flight simulation finish, so the queued job
+	// is deterministically behind the cancellation.
+	<-reqCtx.Done()
+	close(release)
+	err := <-errCh
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("cancelled sweep: err = %v, want a context cancellation", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("hard cancel ran %d simulations, want 1 (queued job skipped)", got)
+	}
+}
+
+// TestRemoteSweepRejectsLocalOnlyOptions: checkpoint and tracing options
+// name client-local state and must be refused before anything is sent.
+func TestRemoteSweepRejectsLocalOnlyOptions(t *testing.T) {
+	o := remoteTestOpts()
+	o.Checkpoints = NewCheckpointStore()
+	_, err := RemoteSweep(context.Background(), "http://localhost:0",
+		[]Job{{Design: Tagless, Workload: "sphinx3", Options: o}}, o)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("err = %v, want a checkpoint refusal", err)
+	}
+	o = remoteTestOpts()
+	o.TraceEvents = &bytes.Buffer{}
+	_, err = RemoteSweep(context.Background(), "http://localhost:0",
+		[]Job{{Design: Tagless, Workload: "sphinx3", Options: o}}, o)
+	if err == nil || !strings.Contains(err.Error(), "tracing") {
+		t.Fatalf("err = %v, want a tracing refusal", err)
+	}
+}
+
+// TestWireOptionsFingerprintRoundTrip pins wireOptions/optionsFromWire as
+// exact inverses over the semantic fields: a job converted to the wire
+// form and back must keep its cache fingerprint. Every semantic field is
+// set to a non-default value so a new field that misses the wire mapping
+// fails here (the guard loop below catches a field this test itself
+// forgot to set).
+func TestWireOptionsFingerprintRoundTrip(t *testing.T) {
+	o := Options{
+		Shift:               5,
+		Warmup:              123_000,
+		Measure:             456_000,
+		Seed:                9,
+		CacheMB:             8,
+		Policy:              CLOCK,
+		NCAccessThreshold:   32,
+		SynchronousEviction: true,
+		CachedGIPT:          true,
+		SharedAliasTable:    true,
+		HotFilterThreshold:  4,
+		Superpages:          true,
+		Refresh:             true,
+		L2TLBEntries:        256,
+		Alpha:               2,
+		MemoryWalk:          true,
+		WalkModel:           "nested",
+		PWCHitCycles:        3,
+		TLBTopology:         "shared",
+		CtxSwitchRefs:       10_000,
+		CtxSwitchFlush:      true,
+		MSHRs:               4,
+		EpochRefs:           1_000,
+		Sample:              &SampleSpec{WindowRefs: 1_000, PeriodRefs: 10_000, WarmRefs: 500},
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Guard: every semantic field (except the checkpoint trio, which is
+	// deliberately not wire-transportable) must be non-zero above.
+	zero, ov := reflect.ValueOf(Options{}), reflect.ValueOf(o)
+	for name := range semanticOptionFields {
+		switch name {
+		case "CheckpointSave", "CheckpointLoad", "Checkpoints":
+			continue
+		}
+		got := fmt.Sprintf("%v", ov.FieldByName(name).Interface())
+		if got == fmt.Sprintf("%v", zero.FieldByName(name).Interface()) {
+			t.Errorf("semantic field %s is still zero: set it above so the wire round trip exercises it", name)
+		}
+	}
+
+	// Exercise the real transport: marshal the wire form through JSON too.
+	raw, err := json.Marshal(wireOptions(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w sweepapi.Options
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := optionsFromWire(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Canonical(), o.Canonical(); got != want {
+		t.Fatalf("canonical options drifted across the wire:\n got %s\nwant %s", got, want)
+	}
+	fp0, err := (Job{Design: Tagless, Workload: "sphinx3", Options: o}).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := (Job{Design: Tagless, Workload: "sphinx3", Options: back}).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp0 != fp1 {
+		t.Fatalf("fingerprint drifted across the wire: %s != %s", fp0, fp1)
+	}
+}

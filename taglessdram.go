@@ -147,8 +147,19 @@ type Options struct {
 	// RunFigureN/RunTableN grid) run concurrently: 0 = GOMAXPROCS,
 	// 1 = serial. It never changes a simulation's metrics — every job is
 	// fully isolated, so parallel and serial sweeps are bit-identical —
-	// and has no effect on a single Run.
+	// and has no effect on a single Run. With Server set it becomes the
+	// requested remote fan-out width (the service clamps it to its own
+	// ceiling).
 	Workers int
+	// Server, when non-empty, is the base URL of a sweepd sweep service
+	// (cmd/sweepd); every RunFigureN/RunTableN sweep is then submitted
+	// there via RemoteSweep instead of simulating in-process. Results
+	// come back through the result cache's own codec, so remote sweeps
+	// are byte-identical to local ones. Studies that must build their
+	// workloads by hand (RunSharedPages, RunFairness's alone-runs) still
+	// simulate locally. Non-semantic: where a job runs never changes its
+	// Result.
+	Server string
 	// Progress, when non-nil, is called after each simulation of a sweep
 	// completes (done/total counts, elapsed wall time, ETA). Calls are
 	// serialized but may come from worker goroutines. A single Run calls

@@ -103,7 +103,7 @@ func TestRunTable6MatchesPaper(t *testing.T) {
 }
 
 func TestRunTable1CasesPresent(t *testing.T) {
-	rows, err := RunTable1(quickOpts())
+	rows, err := RunTable1(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestRunTable1CasesPresent(t *testing.T) {
 func TestRunFigure13Gains(t *testing.T) {
 	o := quickOpts()
 	o.Warmup, o.Measure = 600_000, 600_000
-	row, err := RunFigure13(o)
+	row, err := RunFigure13(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestRunFigure13Gains(t *testing.T) {
 }
 
 func TestRunFigure11BothPolicies(t *testing.T) {
-	rows, err := RunFigure11(quickOpts(), []string{"MIX1"})
+	rows, err := RunFigure11(context.Background(), quickOpts(), []string{"MIX1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestRunFigure11BothPolicies(t *testing.T) {
 func TestRunFigure10Shapes(t *testing.T) {
 	o := quickOpts()
 	o.Warmup, o.Measure = 750_000, 750_000
-	rows, err := RunFigure10(o, []string{"MIX5"})
+	rows, err := RunFigure10(context.Background(), o, []string{"MIX5"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestRunFigure10Shapes(t *testing.T) {
 }
 
 func TestRunTable2Rows(t *testing.T) {
-	rows, err := RunTable2(quickOpts(), "MIX1")
+	rows, err := RunTable2(context.Background(), quickOpts(), "MIX1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestRunTable2Rows(t *testing.T) {
 }
 
 func TestRunAMATCheck(t *testing.T) {
-	rows, err := RunAMATCheck(quickOpts(), []string{"sphinx3"})
+	rows, err := RunAMATCheck(context.Background(), quickOpts(), []string{"sphinx3"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestGeoMeanHelpers(t *testing.T) {
 
 func TestRunSharedPagesStudy(t *testing.T) {
 	o := quickOpts()
-	rows, err := RunSharedPages(o, "MIX1", 0.2)
+	rows, err := RunSharedPages(context.Background(), o, "MIX1", 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestRunSharedPagesStudy(t *testing.T) {
 
 func TestRunHotFilterSweep(t *testing.T) {
 	o := quickOpts()
-	rows, err := RunHotFilter(o, "GemsFDTD", []int{0, 4})
+	rows, err := RunHotFilter(context.Background(), o, "GemsFDTD", []int{0, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestRunHotFilterSweep(t *testing.T) {
 func TestRunSuperpagesStudy(t *testing.T) {
 	o := quickOpts()
 	o.Warmup, o.Measure = 600_000, 600_000
-	rows, err := RunSuperpages(o, []string{"mcf"})
+	rows, err := RunSuperpages(context.Background(), o, []string{"mcf"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestRunSuperpagesStudy(t *testing.T) {
 func TestRunTLBReachStudy(t *testing.T) {
 	o := quickOpts()
 	o.Warmup, o.Measure = 600_000, 600_000
-	rows, err := RunTLBReach(o, "mcf", []int{128, 1024})
+	rows, err := RunTLBReach(context.Background(), o, "mcf", []int{128, 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +355,7 @@ func TestHeadlineClaimQuick(t *testing.T) {
 
 func TestRunFairnessMetrics(t *testing.T) {
 	o := quickOpts()
-	rows, err := RunFairness(o, "MIX1")
+	rows, err := RunFairness(context.Background(), o, "MIX1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestRunFairnessMetrics(t *testing.T) {
 			t.Errorf("%v: per-program entries = %d", r.Design, len(r.PerProgSlowdowns))
 		}
 	}
-	if _, err := RunFairness(o, "MIX99"); err == nil {
+	if _, err := RunFairness(context.Background(), o, "MIX99"); err == nil {
 		t.Error("unknown mix accepted")
 	}
 }
@@ -406,12 +406,12 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	workloads := []string{"sphinx3", "libquantum"}
 
 	o.Workers = 1
-	serial, err := runDesignGrid(workloads, o)
+	serial, err := runDesignGrid(context.Background(), workloads, o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	o.Workers = 4
-	parallel, err := runDesignGrid(workloads, o)
+	parallel, err := runDesignGrid(context.Background(), workloads, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func TestSweepProgressThroughRunners(t *testing.T) {
 		calls = append(calls, p.Done)
 	}
 	entries := []int{128, 512}
-	if _, err := RunTLBReach(o, "mcf", entries); err != nil {
+	if _, err := RunTLBReach(context.Background(), o, "mcf", entries); err != nil {
 		t.Fatal(err)
 	}
 	if len(calls) != len(entries) {
