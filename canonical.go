@@ -19,6 +19,12 @@ import (
 // production code must treat it as a constant.
 var modelVersion = 1
 
+// ModelVersion reports the simulator's behavioral generation stamp —
+// the canonical.go constant that prefixes every result-cache key. The
+// sweep service exposes it on /v1/stats and /metrics so clients can
+// tell when two servers' caches are comparable.
+func ModelVersion() int { return modelVersion }
+
 // Every exported Options field is classified as either semantic (it can
 // change a run's Result, so it is hashed into the cache key) or
 // non-semantic (execution mechanics and observers that never change the
@@ -69,6 +75,7 @@ var nonSemanticOptionFields = map[string]bool{
 	"Workers":         true, // jobs are isolated; parallel == serial bit-for-bit
 	"Server":          true, // where a sweep runs; remote results are byte-identical
 	"Progress":        true, // observer
+	"OnSweepAccepted": true, // observer (remote sweep-ID callback)
 	"EpochCapacity":   true, // ring bound; drops old epochs, never changes metrics
 	"MetricsSink":     true, // observer
 	"TraceEvents":     true, // observer (and trace-requesting runs bypass the cache)

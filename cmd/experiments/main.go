@@ -40,6 +40,7 @@ func main() {
 		server  = flag.String("server", "", "base URL of a sweepd sweep service (e.g. http://localhost:8344): every sweep is submitted there instead of simulating in-process; output is byte-identical")
 		rcache  = flag.String("result-cache", "", "persistent content-addressed result cache directory: completed runs are replayed byte-identically instead of re-simulated; editing one configuration re-simulates only its cells")
 		epoch   = flag.Uint64("epoch-refs", 0, "epoch length in measured references for time-series sampling (0 = off)")
+		epochCap = flag.Int("epoch-capacity", 0, "max retained epochs per run; once full the oldest are dropped (0 = default ring)")
 		prewarm = flag.Bool("prewarm", false, "share warm-state checkpoints across figures: each (workload, config, warm-up) warms up once and later runs restore it (results use the checkpointed Warmup/Measure path, so they differ slightly from the default)")
 
 		walkModel = flag.String("walk", "", "page-table-walk model for every run: fixed | pwc | nested (empty = fixed)")
@@ -108,6 +109,7 @@ func main() {
 		o.ExtraDesigns = []taglessdram.Design{taglessdram.AlloyBlock, taglessdram.Banshee}
 	}
 	o.EpochRefs = *epoch
+	o.EpochCapacity = *epochCap
 	o.WalkModel = *walkModel
 	o.PWCHitCycles = *pwcHit
 	o.TLBTopology = *tlbTopo
@@ -120,26 +122,34 @@ func main() {
 	if *prewarm {
 		o.Checkpoints = taglessdram.NewCheckpointStore()
 	}
+	var metricsFile *os.File
 	if *metrics != "" {
-		f, err := os.Create(*metrics)
+		metricsFile, err = os.Create(*metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
+			if err := metricsFile.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
 			}
 		}()
-		// Every figure/table sweep delivers its results here in
-		// submission order after the sweep completes, so the file's
-		// bytes do not depend on -j.
-		o.MetricsSink = func(r *taglessdram.Result) {
-			if err := taglessdram.WriteMetricsJSON(f, r); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
+	}
+	// Every figure/table sweep delivers its results here in submission
+	// order after the sweep completes, so the metrics file's bytes do
+	// not depend on -j. Epoch-ring overflows warn on stderr either way,
+	// keeping stdout and the metrics stream byte-identical.
+	o.MetricsSink = func(r *taglessdram.Result) {
+		if warn := taglessdram.EpochDropWarning(r); warn != "" {
+			fmt.Fprintln(os.Stderr, "experiments: warning:", warn)
+		}
+		if metricsFile == nil {
+			return
+		}
+		if err := taglessdram.WriteMetricsJSON(metricsFile, r); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -213,6 +223,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "server result cache: hits=%d misses=%d stored=%d evicted=%d\n",
 			st.Hits-serverStats0.Hits, st.Misses-serverStats0.Misses,
 			st.Stored-serverStats0.Stored, st.Evicted-serverStats0.Evicted)
+		fmt.Fprintf(os.Stderr, "server: model_version=%d uptime=%s sweeps=%d jobs=%d inflight=%d/%d entries=%d\n",
+			st.ModelVersion, st.Uptime.Round(time.Second),
+			st.Sweeps, st.Jobs, st.InFlightSweeps, st.InFlightJobs, st.Entries)
 	}
 }
 

@@ -4,10 +4,17 @@
 // bit-identical results back as JSON-lines. See the README's "Sweep
 // service" section for the protocol and curl examples.
 //
-// Shutdown: the first SIGINT/SIGTERM drains — new sweeps get 503,
-// in-flight sweeps run to completion, then the process exits 0. A second
-// signal hard-cancels: queued jobs are skipped, running simulations
-// finish, streams end with an error event.
+// Observability: GET /metrics is a Prometheus text exposition, GET
+// /v1/trace?sweep=ID exports a sweep's span timeline as Chrome
+// trace_event JSON, GET /v1/sweeps lists recent sweeps, and every
+// request and sweep emits one structured JSON log line on stderr.
+// -debug-addr starts an additional net/http/pprof listener for live
+// profiling (keep it on localhost or a private interface).
+//
+// Shutdown: the first SIGINT/SIGTERM drains — new sweeps get 503 (with
+// Retry-After), in-flight sweeps run to completion, then the process
+// exits 0. A second signal hard-cancels: queued jobs are skipped,
+// running simulations finish, streams end with an error event.
 package main
 
 import (
@@ -15,60 +22,90 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"taglessdram"
+	"taglessdram/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:8344", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (empty = disabled)")
 	cacheDir := flag.String("result-cache", "sweepd.cache", "result cache directory (shared, persistent)")
 	workers := flag.Int("j", 0, "max concurrent simulations per sweep (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", taglessdram.DefaultMaxJobs, "max jobs per request")
 	flag.Parse()
 
-	log.SetPrefix("sweepd: ")
-	log.SetFlags(log.LstdFlags)
+	logger := telemetry.NewLogger(os.Stderr)
+	fatal := func(err error) {
+		logger.Event("fatal", telemetry.F("error", err.Error()))
+		os.Exit(1)
+	}
 
 	store, err := taglessdram.OpenResultCache(*cacheDir)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	svc, err := taglessdram.NewSweepServer(store, *workers, *maxJobs)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	svc.SetLogOutput(os.Stderr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener so profiling is
+		// never exposed on the service address by accident.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Event("debug-listener", telemetry.F("addr", *debugAddr))
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Event("debug-listener-error", telemetry.F("error", err.Error()))
+			}
+		}()
+	}
+
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
-		log.Print("draining: refusing new sweeps, waiting for in-flight sweeps (signal again to cancel them)")
+		logger.Event("draining",
+			telemetry.F("note", "refusing new sweeps, waiting for in-flight sweeps (signal again to cancel them)"))
 		go func() {
 			<-sigs
-			log.Print("cancelling in-flight sweeps")
+			logger.Event("cancelling", telemetry.F("note", "hard-cancelling in-flight sweeps"))
 			svc.Cancel()
 		}()
 		svc.Drain()
 		if err := srv.Shutdown(context.Background()); err != nil {
-			log.Print("shutdown: ", err)
+			logger.Event("shutdown-error", telemetry.F("error", err.Error()))
 		}
 	}()
 
-	log.Printf("serving on http://%s (result cache %s, entries=%d)", *addr, *cacheDir, store.Len())
+	logger.Event("serving",
+		telemetry.F("addr", fmt.Sprintf("http://%s", *addr)),
+		telemetry.F("result_cache", *cacheDir),
+		telemetry.F("entries", store.Len()),
+		telemetry.F("model_version", taglessdram.ModelVersion()),
+		telemetry.F("workers", *workers),
+		telemetry.F("max_jobs", *maxJobs),
+	)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "sweepd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	log.Print("drained, exiting")
+	logger.Event("drained")
 }

@@ -40,6 +40,7 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		prog     = flag.Bool("progress", false, "print a wall-clock throughput summary and epoch sparklines to stderr")
 		epoch    = flag.Uint64("epoch-refs", 2000, "epoch length in measured references for time-series sampling (0 = off)")
+		epochCap = flag.Int("epoch-capacity", 0, "max retained epochs; once full the oldest are dropped (0 = default ring)")
 		metrics  = flag.String("metrics-json", "", "write the full metric registry and epoch series as JSON lines to this file")
 		latHist  = flag.Bool("lat-hist", false, "print the latency attribution breakdown, tail histograms and per-bank DRAM telemetry")
 		selfchk  = flag.Bool("selfcheck", false, "verify cycle-accounting conservation and (cTLB/SRAM) the Equations 1-5 closed forms, exit nonzero on failure")
@@ -119,6 +120,7 @@ func main() {
 	o.CtxSwitchRefs = *ctxRefs
 	o.CtxSwitchFlush = *ctxFlush
 	o.EpochRefs = *epoch
+	o.EpochCapacity = *epochCap
 	o.TraceEventLimit = *traceMax
 	if *sampleWindow > 0 || *samplePeriod > 0 {
 		o.Sample = &taglessdram.SampleSpec{WindowRefs: *sampleWindow, PeriodRefs: *samplePeriod, WarmRefs: *sampleWarm}
@@ -149,6 +151,9 @@ func main() {
 	r, err := taglessdram.Run(d, *workload, o)
 	if err != nil {
 		fatal(err)
+	}
+	if warn := taglessdram.EpochDropWarning(r); warn != "" {
+		fmt.Fprintln(os.Stderr, "taglesssim: warning:", warn)
 	}
 	if store != nil {
 		// Stderr, not stdout: the printed result must stay byte-identical

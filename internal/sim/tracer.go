@@ -11,18 +11,22 @@ import (
 // behavior around a region of interest without tracing a whole run.
 const DefaultTraceLimit = 100000
 
-// TraceEvent is one kernel event in Chrome trace_event form (the JSON
-// consumed by chrome://tracing and Perfetto). Instant events ("ph":"i")
-// carry a name and a timestamp; we map simulated cycles onto the ts
-// field directly, so the viewer's nanoseconds read as CPU cycles.
+// TraceEvent is one event in Chrome trace_event form (the JSON consumed
+// by chrome://tracing and Perfetto). The kernel tracer records instant
+// events ("ph":"i") mapping simulated cycles onto ts, so the viewer's
+// nanoseconds read as CPU cycles; the sweep service's span traces
+// (internal/telemetry) record complete events ("ph":"X") with Dur set.
 type TraceEvent struct {
 	Name  string `json:"name"`
 	Cat   string `json:"cat"`
 	Phase string `json:"ph"`
 	TS    uint64 `json:"ts"`
+	// Dur is the duration of complete ("X") events; zero is omitted, so
+	// instant events keep their exact historical encoding.
+	Dur   uint64 `json:"dur,omitempty"`
 	PID   int    `json:"pid"`
 	TID   int    `json:"tid"`
-	Scope string `json:"s"`
+	Scope string `json:"s,omitempty"`
 }
 
 // Trace event categories: every recorded event carries one as its
@@ -131,8 +135,15 @@ type traceFile struct {
 // object, loadable in chrome://tracing or Perfetto. Timestamps are
 // simulated cycles (displayed as ns).
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	return WriteTraceJSON(w, t.events)
+}
+
+// WriteTraceJSON writes events as a Chrome trace_event JSON document —
+// the shared envelope for the kernel tracer and the sweep service's
+// span traces.
+func WriteTraceJSON(w io.Writer, events []TraceEvent) error {
 	f := traceFile{
-		TraceEvents:     t.events,
+		TraceEvents:     events,
 		DisplayTimeUnit: "ns",
 	}
 	if f.TraceEvents == nil {

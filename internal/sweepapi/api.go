@@ -10,14 +10,19 @@
 //	POST /v1/sweep   body: Request        → 200 + JSON-lines Event stream
 //	                                      → 4xx/5xx + {"error": "..."}
 //	GET  /v1/stats                        → StatsReply
-//	GET  /v1/healthz                      → 200 "ok" | 503 "draining"
+//	GET  /v1/healthz                      → 200 | 503 + HealthReply
+//	GET  /v1/sweeps                       → SweepsReply (recent sweeps)
+//	GET  /v1/trace?sweep=ID               → Chrome trace_event JSON
+//	GET  /metrics                         → Prometheus text exposition
 //
-// A sweep response streams one Event per line: one "accepted", then
+// A sweep response streams one Event per line: one "accepted" (carrying
+// the server-assigned sweep ID, the handle for /v1/trace), then
 // interleaved "progress" events as jobs complete, then — on success —
 // one "result" per job in submission order followed by one "done", or a
 // single terminal "error". Result payloads are the result cache's own
 // gob encoding (base64 inside JSON), so a decoded result is
-// bit-identical to what an in-process run would have produced.
+// bit-identical to what an in-process run would have produced. 503s
+// from a draining server carry a Retry-After header (seconds).
 package sweepapi
 
 // Job names one cell of a sweep: a design, a workload, and optionally
@@ -104,7 +109,11 @@ const (
 type Event struct {
 	Type string `json:"type"`
 
-	// accepted: the validated sweep as the server will run it.
+	// accepted: the validated sweep as the server will run it. SweepID
+	// is the server-assigned trace handle (GET /v1/trace?sweep=ID); it
+	// is echoed on the terminal done/error event so clients can
+	// correlate even a stream they joined late.
+	SweepID      string   `json:"sweep_id,omitempty"`
 	Jobs         int      `json:"jobs,omitempty"`
 	Workers      int      `json:"workers,omitempty"`
 	Fingerprints []string `json:"fingerprints,omitempty"`
@@ -117,11 +126,14 @@ type Event struct {
 	ETAMS     int64 `json:"eta_ms,omitempty"`
 
 	// result: one job's completed simulation. Result is the result
-	// cache's gob payload (encoding/json base64-codes []byte).
+	// cache's gob payload (encoding/json base64-codes []byte). Cached
+	// reports that the job was answered without simulating (a store
+	// hit or a deduplicated duplicate).
 	Job         int    `json:"job,omitempty"`
 	Design      string `json:"design,omitempty"`
 	Workload    string `json:"workload,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	Cached      bool   `json:"cached,omitempty"`
 	Result      []byte `json:"result,omitempty"`
 
 	// error: the sweep failed; the stream ends here.
@@ -142,13 +154,56 @@ type CacheStats struct {
 }
 
 // StatsReply is the body of GET /v1/stats: the store's lifetime
-// counters, the number of entries on disk, and the service's own
-// request counters.
+// counters, the number of entries on disk, the service's own request
+// counters, and the service identity block (behavioral model version,
+// start time, uptime, in-flight gauges).
 type StatsReply struct {
 	Cache   CacheStats `json:"cache"`
 	Entries int        `json:"entries"`
 	Sweeps  uint64     `json:"sweeps"`
 	SimJobs uint64     `json:"jobs"`
+	// ModelVersion is the canonical.go stamp: results from servers with
+	// different stamps are not comparable (their fingerprints differ).
+	ModelVersion int `json:"model_version"`
+	// Start is the server's start time (RFC 3339, UTC); UptimeMS the
+	// milliseconds since.
+	Start    string `json:"start_time"`
+	UptimeMS int64  `json:"uptime_ms"`
+	// In-flight gauges: sweeps currently streaming, jobs currently
+	// queued or simulating.
+	InFlightSweeps int `json:"inflight_sweeps"`
+	InFlightJobs   int `json:"inflight_jobs"`
+}
+
+// HealthReply is the body of GET /v1/healthz — HTTP 200 while serving,
+// 503 (with a Retry-After header) while draining.
+type HealthReply struct {
+	Status       string `json:"status"` // "ok" | "draining"
+	ModelVersion int    `json:"model_version"`
+	Start        string `json:"start_time"`
+	UptimeMS     int64  `json:"uptime_ms"`
+}
+
+// SweepSummary is one recent sweep in GET /v1/sweeps: identity,
+// progress, and the cached/simulated split. DurationMS keeps growing
+// while State is "running".
+type SweepSummary struct {
+	ID         string `json:"id"`
+	State      string `json:"state"` // running | ok | error | canceled
+	Peer       string `json:"peer,omitempty"`
+	Jobs       int    `json:"jobs"`
+	Done       int    `json:"done"`
+	Cached     int    `json:"cached"`
+	Simulated  int    `json:"simulated"`
+	Workers    int    `json:"workers"`
+	Start      string `json:"start_time"`
+	DurationMS int64  `json:"duration_ms"`
+	Spans      int    `json:"spans"`
+}
+
+// SweepsReply is the body of GET /v1/sweeps, newest sweep first.
+type SweepsReply struct {
+	Sweeps []SweepSummary `json:"sweeps"`
 }
 
 // ErrorReply is the body of every non-200 response.

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field is one key/value pair of a structured log event. Fields keep
+// the order they were passed in, so every "sweep" line lists sweep_id,
+// peer, jobs, ... in the same sequence and the lines stay grep- and
+// jq-friendly at once.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger writes structured JSON-lines events: one object per line with
+// "ts" (RFC 3339, UTC) and "event" first, then the caller's fields in
+// order. A Logger is safe for concurrent use; each event is a single
+// Write.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing to w; a nil w discards events.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		w = io.Discard
+	}
+	return &Logger{w: w, now: time.Now}
+}
+
+// SetNow replaces the timestamp source (tests pin it for deterministic
+// lines).
+func (l *Logger) SetNow(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// SetOutput redirects subsequent events to w (nil discards).
+func (l *Logger) SetOutput(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	l.mu.Lock()
+	l.w = w
+	l.mu.Unlock()
+}
+
+// Event writes one log line. Values marshal as JSON; a value that
+// cannot marshal is stringified instead of failing the line.
+func (l *Logger) Event(event string, fields ...Field) {
+	var b bytes.Buffer
+	l.mu.Lock()
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	b.WriteString(`{"ts":`)
+	writeJSONValue(&b, ts)
+	b.WriteString(`,"event":`)
+	writeJSONValue(&b, event)
+	for _, f := range fields {
+		b.WriteByte(',')
+		writeJSONValue(&b, f.Key)
+		b.WriteByte(':')
+		writeJSONValue(&b, f.Value)
+	}
+	b.WriteString("}\n")
+	l.w.Write(b.Bytes())
+	l.mu.Unlock()
+}
+
+func writeJSONValue(b *bytes.Buffer, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	b.Write(enc)
+}

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func findSample(t *testing.T, samples []Sample, name string, labels map[string]string) Sample {
+	t.Helper()
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+	t.Fatalf("no sample %s%v in %d samples", name, labels, len(samples))
+	return Sample{}
+}
+
+// TestWritePromRoundTrip pins the exposition writer against the parser:
+// every registered family renders, labels (including escapes) survive,
+// and counter/gauge values come back exactly.
+func TestWritePromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "Operations.")
+	c.Add(42)
+	g := reg.Gauge("test_inflight", "In-flight.")
+	g.Add(7)
+	g.Dec()
+	reg.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	reg.CounterFunc("test_fn_total", "From closure.", func() uint64 { return 9 })
+	vec := reg.CounterVec("test_http_total", "Requests.", "route", "class")
+	vec.With("/v1/sweep", "2xx").Add(3)
+	vec.With(`we"ird\nam
+e`, "5xx").Inc()
+	hv := reg.HistogramVec("test_phase_seconds", "Phases.", "phase")
+	h := hv.With("simulate")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(100 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.",
+		"# TYPE test_ops_total counter",
+		"# TYPE test_phase_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, text)
+	}
+	if s := findSample(t, samples, "test_ops_total", nil); s.Value != 42 {
+		t.Errorf("test_ops_total = %v, want 42", s.Value)
+	}
+	if s := findSample(t, samples, "test_inflight", nil); s.Value != 6 {
+		t.Errorf("test_inflight = %v, want 6", s.Value)
+	}
+	if s := findSample(t, samples, "test_fn_total", nil); s.Value != 9 {
+		t.Errorf("test_fn_total = %v, want 9", s.Value)
+	}
+	if s := findSample(t, samples, "test_http_total", map[string]string{"route": "/v1/sweep"}); s.Value != 3 || s.Labels["class"] != "2xx" {
+		t.Errorf("vec sample = %+v", s)
+	}
+	weird := findSample(t, samples, "test_http_total", map[string]string{"class": "5xx"})
+	if weird.Labels["route"] != "we\"ird\\nam\ne" {
+		t.Errorf("escaped label round-trip = %q", weird.Labels["route"])
+	}
+	if s := findSample(t, samples, "test_phase_seconds_count", map[string]string{"phase": "simulate"}); s.Value != 3 {
+		t.Errorf("hist count = %v, want 3", s.Value)
+	}
+	inf := findSample(t, samples, "test_phase_seconds_bucket", map[string]string{"le": "+Inf"})
+	if inf.Value != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", inf.Value)
+	}
+	// Cumulative buckets must be non-decreasing in le order.
+	var prev float64 = -1
+	var prevLe float64 = -1
+	for _, s := range samples {
+		if s.Name != "test_phase_seconds_bucket" || s.Labels["le"] == "+Inf" {
+			continue
+		}
+		le, err := parseLe(s.Labels["le"])
+		if err != nil {
+			t.Fatalf("bad le %q: %v", s.Labels["le"], err)
+		}
+		if le <= prevLe || s.Value < prev {
+			t.Errorf("buckets not cumulative: le=%v cum=%v after le=%v cum=%v", le, s.Value, prevLe, prev)
+		}
+		prevLe, prev = le, s.Value
+	}
+}
+
+func parseLe(s string) (float64, error) {
+	var v float64
+	err := json.Unmarshal([]byte(s), &v)
+	return v, err
+}
+
+// TestHistQuantile pins the log2 bucket geometry shared with
+// internal/lat: a 3ms observation lands in a bucket whose bounds
+// bracket 3000µs.
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(50); got != 0 {
+		t.Errorf("empty hist p50 = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	p50 := h.Quantile(50)
+	if p50 < 2048 || p50 > 4096 {
+		t.Errorf("p50 = %vµs, want within the [2048, 4096)µs log2 bucket", p50)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+	// Sub-microsecond (and negative) observations land in bucket 0.
+	var h0 Hist
+	h0.Observe(100 * time.Nanosecond)
+	h0.Observe(-time.Second)
+	counts, total, _ := h0.Snapshot()
+	if counts[0] != 2 || total != 2 {
+		t.Errorf("bucket0 = %d, total = %d; want 2, 2", counts[0], total)
+	}
+}
+
+// TestParsedQuantile checks the client-side quantile over parsed
+// cumulative buckets (what sweeptop computes from a scrape).
+func TestParsedQuantile(t *testing.T) {
+	bounds := []float64{0.001, 0.002, 0.004, math.Inf(+1)}
+	cum := []uint64{0, 50, 100, 100}
+	p50 := Quantile(bounds, cum, 50)
+	if p50 < 0.001 || p50 > 0.002 {
+		t.Errorf("p50 = %v, want in (0.001, 0.002]", p50)
+	}
+	p99 := Quantile(bounds, cum, 99)
+	if p99 < 0.002 || p99 > 0.004 {
+		t.Errorf("p99 = %v, want in (0.002, 0.004]", p99)
+	}
+	if !math.IsNaN(Quantile(nil, nil, 50)) {
+		t.Error("empty Quantile should be NaN")
+	}
+}
+
+// TestTraceWriteChrome pins the span export: complete events with
+// microsecond ts/dur, lane-major order with enclosing spans first.
+func TestTraceWriteChrome(t *testing.T) {
+	tr := NewTrace("s42", time.Now(), 2, 2, "peer:1")
+	tr.Add("simulate", CatPhase, 1, 10*time.Millisecond, 30*time.Millisecond)
+	tr.Add("job0", CatSimulated, 1, 0, 40*time.Millisecond)
+	tr.Add("sweep s42", CatSweep, 0, 0, 50*time.Millisecond)
+	tr.JobDone(false)
+	tr.JobDone(true)
+	tr.Finish(StateOK)
+	tr.Finish(StateError) // ignored: already finished
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			TS   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	// Sorted: tid 0 first, then tid 1 with the umbrella job span before
+	// its nested phase.
+	if doc.TraceEvents[0].Name != "sweep s42" || doc.TraceEvents[1].Name != "job0" || doc.TraceEvents[2].Name != "simulate" {
+		t.Errorf("order = %s, %s, %s", doc.TraceEvents[0].Name, doc.TraceEvents[1].Name, doc.TraceEvents[2].Name)
+	}
+	sim := doc.TraceEvents[2]
+	if sim.Ph != "X" || sim.TS != 10000 || sim.Dur != 20000 || sim.TID != 1 {
+		t.Errorf("simulate span = %+v, want ph=X ts=10000 dur=20000 tid=1", sim)
+	}
+
+	sum := tr.Summary()
+	if sum.State != StateOK || sum.Done != 2 || sum.Cached != 1 || sum.Simulated != 1 || sum.Spans != 3 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+// TestTraceStoreEviction pins the bounded ring: oldest out first,
+// Latest and Summaries track insertion order.
+func TestTraceStoreEviction(t *testing.T) {
+	s := NewTraceStore(2)
+	t0 := time.Now()
+	s.Add(NewTrace("a", t0, 1, 1, ""))
+	s.Add(NewTrace("b", t0, 1, 1, ""))
+	s.Add(NewTrace("c", t0, 1, 1, ""))
+	if _, ok := s.Get("a"); ok {
+		t.Error("a should have been evicted")
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Error("b should be retained")
+	}
+	latest, ok := s.Latest()
+	if !ok || latest.ID() != "c" {
+		t.Errorf("latest = %v", latest)
+	}
+	sums := s.Summaries()
+	if len(sums) != 2 || sums[0].ID != "c" || sums[1].ID != "b" {
+		t.Errorf("summaries = %+v", sums)
+	}
+}
+
+// TestLoggerLines pins the structured log format: one JSON object per
+// line, ts and event first, fields in argument order, and values that
+// cannot marshal degrade to strings instead of dropping the line.
+func TestLoggerLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	fixed := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	l.SetNow(func() time.Time { return fixed })
+	l.Event("sweep",
+		F("sweep_id", "s000001"),
+		F("jobs", 4),
+		F("ratio", 0.5),
+		F("bad", func() {}), // unmarshalable
+	)
+	line := buf.String()
+	want := `{"ts":"2026-08-09T12:00:00Z","event":"sweep","sweep_id":"s000001","jobs":4,"ratio":0.5,`
+	if !strings.HasPrefix(line, want) {
+		t.Errorf("line = %q, want prefix %q", line, want)
+	}
+	if !strings.HasSuffix(line, "}\n") {
+		t.Errorf("line %q should end with }\\n", line)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("log line is not valid JSON: %v\n%s", err, line)
+	}
+	if obj["event"] != "sweep" || obj["jobs"] != 4.0 {
+		t.Errorf("decoded = %v", obj)
+	}
+	buf.Reset()
+	l.SetOutput(nil)
+	l.Event("dropped")
+	if buf.Len() != 0 {
+		t.Error("SetOutput(nil) should discard")
+	}
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"taglessdram/internal/sim"
+)
+
+// Span categories of a sweep trace. Job spans carry CatCached or
+// CatSimulated — the one-glance distinction chrome://tracing colors by —
+// phase spans nest under them as CatPhase, and the sweep-level envelope
+// (validate, encode, stream, the whole request) is CatSweep.
+const (
+	CatSweep     = "sweep"
+	CatPhase     = "phase"
+	CatCached    = "cached"
+	CatSimulated = "simulated"
+)
+
+// Trace states reported by TraceSummary.State.
+const (
+	StateRunning  = "running"
+	StateOK       = "ok"
+	StateError    = "error"
+	StateCanceled = "canceled"
+)
+
+// Span is one closed interval of a sweep's timeline, as an offset pair
+// from the sweep's start. TID 0 is the sweep-level lane; job i occupies
+// lane i+1.
+type Span struct {
+	Name       string
+	Cat        string
+	TID        int
+	Start, End time.Duration
+}
+
+// Trace is one sweep's span timeline plus its progress counters. The
+// handler goroutine and the sweep workers append concurrently; /v1/trace
+// and /v1/sweeps read it at any time, including mid-sweep.
+type Trace struct {
+	id      string
+	begun   time.Time
+	peer    string
+	jobs    int
+	workers int
+
+	mu        sync.Mutex
+	spans     []Span
+	state     string
+	done      int
+	cached    int
+	simulated int
+	dur       time.Duration
+}
+
+// NewTrace starts a trace for one accepted sweep.
+func NewTrace(id string, begun time.Time, jobs, workers int, peer string) *Trace {
+	return &Trace{id: id, begun: begun, peer: peer, jobs: jobs, workers: workers, state: StateRunning}
+}
+
+// ID returns the server-assigned sweep ID.
+func (t *Trace) ID() string { return t.id }
+
+// Since returns the current offset from the sweep's start — the
+// timestamp source for spans.
+func (t *Trace) Since() time.Duration { return time.Since(t.begun) }
+
+// Add records one span.
+func (t *Trace) Add(name, cat string, tid int, start, end time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Cat: cat, TID: tid, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// JobDone counts one completed job (cached = answered without
+// simulating: a store hit or a deduplicated duplicate).
+func (t *Trace) JobDone(cached bool) {
+	t.mu.Lock()
+	t.done++
+	if cached {
+		t.cached++
+	} else {
+		t.simulated++
+	}
+	t.mu.Unlock()
+}
+
+// Finish closes the trace with a terminal state; later calls are
+// ignored.
+func (t *Trace) Finish(state string) {
+	t.mu.Lock()
+	if t.state == StateRunning {
+		t.state = state
+		t.dur = time.Since(t.begun)
+	}
+	t.mu.Unlock()
+}
+
+// TraceSummary is the /v1/sweeps view of one trace.
+type TraceSummary struct {
+	ID        string
+	State     string
+	Peer      string
+	Jobs      int
+	Done      int
+	Cached    int
+	Simulated int
+	Workers   int
+	Spans     int
+	Begun     time.Time
+	Duration  time.Duration
+}
+
+// Summary snapshots the trace's counters (Duration keeps growing until
+// Finish).
+func (t *Trace) Summary() TraceSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dur := t.dur
+	if t.state == StateRunning {
+		dur = time.Since(t.begun)
+	}
+	return TraceSummary{
+		ID: t.id, State: t.state, Peer: t.peer,
+		Jobs: t.jobs, Done: t.done, Cached: t.cached, Simulated: t.simulated,
+		Workers: t.workers, Spans: len(t.spans),
+		Begun: t.begun, Duration: dur,
+	}
+}
+
+// WriteChrome exports the trace as a Chrome trace_event JSON document of
+// complete ("X") events — the same envelope the kernel tracer writes, so
+// one chrome://tracing load shows a whole grid's execution. Spans are
+// ordered lane-major with enclosing spans first, which is how trace
+// viewers infer nesting.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].TID != spans[j].TID {
+			return spans[i].TID < spans[j].TID
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End > spans[j].End
+	})
+	events := make([]sim.TraceEvent, len(spans))
+	for i, s := range spans {
+		start := s.Start
+		if start < 0 {
+			start = 0
+		}
+		end := s.End
+		if end < start {
+			end = start
+		}
+		// Truncate both endpoints (not the difference) so a span that
+		// shares an endpoint with its enclosing span stays nested after
+		// the microsecond rounding.
+		ts := uint64(start.Microseconds())
+		events[i] = sim.TraceEvent{
+			Name:  s.Name,
+			Cat:   s.Cat,
+			Phase: "X",
+			TS:    ts,
+			Dur:   uint64(end.Microseconds()) - ts,
+			PID:   1,
+			TID:   s.TID,
+		}
+	}
+	return sim.WriteTraceJSON(w, events)
+}
+
+// DefaultTraceCap bounds how many recent sweeps a TraceStore retains.
+const DefaultTraceCap = 64
+
+// TraceStore is a bounded ring of recent sweep traces, newest last;
+// adding beyond capacity evicts the oldest.
+type TraceStore struct {
+	mu  sync.Mutex
+	cap int
+	ids []string
+	m   map[string]*Trace
+}
+
+// NewTraceStore returns a store retaining up to capacity traces
+// (DefaultTraceCap when capacity <= 0).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceStore{cap: capacity, m: make(map[string]*Trace)}
+}
+
+// Add retains a trace, evicting the oldest past capacity.
+func (s *TraceStore) Add(t *Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ids = append(s.ids, t.ID())
+	s.m[t.ID()] = t
+	for len(s.ids) > s.cap {
+		delete(s.m, s.ids[0])
+		s.ids = s.ids[1:]
+	}
+}
+
+// Get looks a trace up by sweep ID.
+func (s *TraceStore) Get(id string) (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.m[id]
+	return t, ok
+}
+
+// Latest returns the most recently added trace.
+func (s *TraceStore) Latest() (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ids) == 0 {
+		return nil, false
+	}
+	return s.m[s.ids[len(s.ids)-1]], true
+}
+
+// Summaries returns the retained traces newest first.
+func (s *TraceStore) Summaries() []TraceSummary {
+	s.mu.Lock()
+	traces := make([]*Trace, len(s.ids))
+	for i, id := range s.ids {
+		traces[len(s.ids)-1-i] = s.m[id]
+	}
+	s.mu.Unlock()
+	out := make([]TraceSummary, len(traces))
+	for i, t := range traces {
+		out[i] = t.Summary()
+	}
+	return out
+}

@@ -2,10 +2,24 @@ package taglessdram
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"taglessdram/internal/obs"
 )
+
+// EpochDropWarning renders a one-line operator warning when a run's
+// epoch ring overflowed (Result.EpochsDropped > 0): the oldest epochs
+// were overwritten, so the exported time series is truncated at its
+// start. Returns "" when nothing was dropped. The CLIs print it to
+// stderr so structured stdout streams stay byte-identical.
+func EpochDropWarning(r *Result) string {
+	if r == nil || r.EpochsDropped == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s/%v: epoch ring overflowed: dropped the oldest %d of %d epochs; raise -epoch-capacity (Options.EpochCapacity) or -epoch-refs to keep the full series",
+		r.Workload, r.Design, r.EpochsDropped, r.EpochsDropped+len(r.Epochs))
+}
 
 // Epoch is one epoch of a run's time series: counter deltas (references,
 // instructions, cycles, device bytes, controller activity) and

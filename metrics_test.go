@@ -7,6 +7,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"taglessdram"
@@ -213,5 +214,101 @@ func TestTraceEventsWellFormed(t *testing.T) {
 			t.Fatalf("event %d: ts %d < previous %d (must be monotone)", i, e.TS, prev)
 		}
 		prev = e.TS
+	}
+}
+
+// TestWriteMetricsJSONEdgeCases pins the stream's shape at the corners:
+// no results yields no bytes, a result without epochs is one run line
+// with epochs:0 and no epochs_dropped key, and a mixed batch interleaves
+// run and epoch lines in submission order with the dropped count only on
+// the result that overflowed.
+func TestWriteMetricsJSONEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := taglessdram.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("zero results wrote %q, want nothing", buf.String())
+	}
+
+	bare := &taglessdram.Result{Workload: "mcf", Design: taglessdram.SRAMTag}
+	buf.Reset()
+	if err := taglessdram.WriteMetricsJSON(&buf, bare); err != nil {
+		t.Fatal(err)
+	}
+	lines := splitJSONLines(t, buf.Bytes())
+	if len(lines) != 1 {
+		t.Fatalf("bare result wrote %d lines, want 1", len(lines))
+	}
+	if lines[0]["type"] != "run" || lines[0]["epochs"] != 0.0 {
+		t.Errorf("run line = %v, want type run with epochs 0", lines[0])
+	}
+	if _, ok := lines[0]["epochs_dropped"]; ok {
+		t.Error("run line has epochs_dropped despite no drops")
+	}
+	if _, ok := lines[0]["metrics"].(map[string]any); !ok {
+		t.Error("run line has no metrics object")
+	}
+
+	overflowed := &taglessdram.Result{Workload: "sphinx3", Design: taglessdram.Tagless}
+	overflowed.Epochs = []taglessdram.Epoch{{Index: 3}, {Index: 4}}
+	overflowed.EpochsDropped = 3
+	buf.Reset()
+	if err := taglessdram.WriteMetricsJSON(&buf, overflowed, bare); err != nil {
+		t.Fatal(err)
+	}
+	lines = splitJSONLines(t, buf.Bytes())
+	wantTypes := []string{"run", "epoch", "epoch", "run"}
+	if len(lines) != len(wantTypes) {
+		t.Fatalf("mixed batch wrote %d lines, want %d", len(lines), len(wantTypes))
+	}
+	for i, want := range wantTypes {
+		if lines[i]["type"] != want {
+			t.Errorf("line %d type = %v, want %s", i, lines[i]["type"], want)
+		}
+	}
+	if lines[0]["epochs_dropped"] != 3.0 || lines[0]["epochs"] != 2.0 {
+		t.Errorf("overflowed run line = %v, want epochs 2, epochs_dropped 3", lines[0])
+	}
+	if _, ok := lines[3]["epochs_dropped"]; ok {
+		t.Error("clean run line inherited an epochs_dropped key")
+	}
+	if lines[1]["workload"] != "sphinx3" || lines[3]["workload"] != "mcf" {
+		t.Errorf("lines out of submission order: %v / %v", lines[1]["workload"], lines[3]["workload"])
+	}
+}
+
+func splitJSONLines(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// TestEpochDropWarning pins the operator-facing overflow warning: silent
+// for intact series, and a single line naming the cell, the loss, and
+// the -epoch-capacity remedy when the ring overflowed.
+func TestEpochDropWarning(t *testing.T) {
+	if got := taglessdram.EpochDropWarning(nil); got != "" {
+		t.Errorf("nil result warned %q", got)
+	}
+	clean := &taglessdram.Result{Workload: "mcf", Design: taglessdram.SRAMTag}
+	if got := taglessdram.EpochDropWarning(clean); got != "" {
+		t.Errorf("clean result warned %q", got)
+	}
+	r := &taglessdram.Result{Workload: "sphinx3", Design: taglessdram.Tagless}
+	r.Epochs = make([]taglessdram.Epoch, 4)
+	r.EpochsDropped = 6
+	warn := taglessdram.EpochDropWarning(r)
+	for _, want := range []string{"sphinx3", "dropped the oldest 6 of 10 epochs", "-epoch-capacity"} {
+		if !strings.Contains(warn, want) {
+			t.Errorf("warning %q missing %q", warn, want)
+		}
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -210,6 +212,11 @@ func RemoteSweep(ctx context.Context, server string, jobs []Job, o Options) ([]*
 			if ev.Jobs != len(jobs) {
 				return results, fmt.Errorf("taglessdram: sweep service accepted %d jobs, submitted %d", ev.Jobs, len(jobs))
 			}
+			if o.OnSweepAccepted != nil {
+				o.OnSweepAccepted(SweepAccepted{
+					SweepID: ev.SweepID, Jobs: ev.Jobs, Workers: ev.Workers,
+				})
+			}
 		case sweepapi.EventProgress:
 			if o.Progress != nil {
 				o.Progress(SweepProgress{
@@ -245,13 +252,29 @@ func RemoteSweep(ctx context.Context, server string, jobs []Job, o Options) ([]*
 	return results, nil
 }
 
+// SweepAccepted is the Options.OnSweepAccepted payload: the sweep
+// service's acknowledgement of a submitted grid. SweepID is the
+// server-assigned handle for the sweep's span trace (RemoteTrace,
+// GET /v1/trace?sweep=ID).
+type SweepAccepted struct {
+	SweepID string
+	Jobs    int
+	Workers int
+}
+
 // ServerStats is a sweep service's GET /v1/stats snapshot: the result
-// cache's lifetime counters and entry count, plus the service's own
-// request counters.
+// cache's lifetime counters and entry count, the service's own request
+// counters, and its identity block (behavioral model version, start
+// time/uptime, in-flight gauges).
 type ServerStats struct {
 	Hits, Misses, Stored, Evicted uint64
 	Entries                       int
 	Sweeps, Jobs                  uint64
+
+	ModelVersion                 int
+	Start                        time.Time
+	Uptime                       time.Duration
+	InFlightSweeps, InFlightJobs int
 }
 
 // RemoteStats fetches a sweep service's statistics snapshot.
@@ -273,9 +296,47 @@ func RemoteStats(ctx context.Context, server string) (ServerStats, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return ServerStats{}, fmt.Errorf("taglessdram: sweep service: decoding /v1/stats: %w", err)
 	}
-	return ServerStats{
+	st := ServerStats{
 		Hits: sr.Cache.Hits, Misses: sr.Cache.Misses,
 		Stored: sr.Cache.Stored, Evicted: sr.Cache.Evicted,
 		Entries: sr.Entries, Sweeps: sr.Sweeps, Jobs: sr.SimJobs,
-	}, nil
+		ModelVersion:   sr.ModelVersion,
+		Uptime:         time.Duration(sr.UptimeMS) * time.Millisecond,
+		InFlightSweeps: sr.InFlightSweeps,
+		InFlightJobs:   sr.InFlightJobs,
+	}
+	if sr.Start != "" {
+		if t, err := time.Parse(time.RFC3339, sr.Start); err == nil {
+			st.Start = t
+		}
+	}
+	return st, nil
+}
+
+// RemoteTrace fetches one sweep's span timeline from a sweep service as
+// raw Chrome trace_event JSON (loadable in chrome://tracing or
+// Perfetto). sweepID comes from Options.OnSweepAccepted; "" returns the
+// server's most recent sweep.
+func RemoteTrace(ctx context.Context, server, sweepID string) ([]byte, error) {
+	u := strings.TrimSuffix(server, "/") + "/v1/trace"
+	if sweepID != "" {
+		u += "?sweep=" + url.QueryEscape(sweepID)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("taglessdram: sweep service: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("taglessdram: sweep service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("taglessdram: sweep service: HTTP %d from /v1/trace", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("taglessdram: sweep service: reading /v1/trace: %w", err)
+	}
+	return raw, nil
 }

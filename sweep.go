@@ -40,7 +40,26 @@ func Sweep(ctx context.Context, jobs []Job, workers int) ([]*Result, error) {
 // concurrent or later — receives a private clone of its Result instead
 // of re-simulating.
 func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, error) {
-	return sweepRunShared(ctx, jobs, opt, resultcache.NewFlight(), false)
+	return sweepRunShared(ctx, jobs, opt, resultcache.NewFlight(), false, nil)
+}
+
+// sweepProbe observes per-job execution milestones inside
+// sweepRunShared — the seam the sweep service's telemetry (per-phase
+// histograms, span traces) hangs off. Callbacks fire from worker
+// goroutines, concurrently across jobs but exactly once per milestone
+// per job index; a nil probe costs one branch. All three callbacks must
+// be set on a non-nil probe.
+type sweepProbe struct {
+	// jobStart fires when a worker picks the job up (end of its queue
+	// wait).
+	jobStart func(i int)
+	// jobLookup fires after the job's result-cache lookup, with its
+	// outcome. Jobs that skip the lookup (uncacheable options, no store,
+	// deduplicated against a concurrent identical cell) never fire it.
+	jobLookup func(i int, hit bool)
+	// jobDone fires when the job's result is settled. cached means no
+	// simulation ran for it: a store hit or a shared in-flight result.
+	jobDone func(i int, cached bool, err error)
 }
 
 // sweepRunShared is sweepRun against a caller-owned single-flight memo,
@@ -51,8 +70,19 @@ func sweepRun(ctx context.Context, jobs []Job, opt sweep.Options) ([]*Result, er
 // later ones are served by the persistent result cache, and the memo
 // never pins every Result (or transient error) a long-running server
 // has ever produced.
-func sweepRunShared(ctx context.Context, jobs []Job, opt sweep.Options, flight *resultcache.Flight, forget bool) ([]*Result, error) {
-	return sweep.Run(ctx, jobs, func(_ context.Context, j Job) (*Result, error) {
+func sweepRunShared(ctx context.Context, jobs []Job, opt sweep.Options, flight *resultcache.Flight, forget bool, probe *sweepProbe) ([]*Result, error) {
+	// The engine's job type carries the submission index so the probe
+	// can attribute milestones to sweep lanes.
+	type ijob struct {
+		i int
+		j Job
+	}
+	idx := make([]ijob, len(jobs))
+	for i, j := range jobs {
+		idx[i] = ijob{i, j}
+	}
+	return sweep.Run(ctx, idx, func(_ context.Context, ij ijob) (*Result, error) {
+		i, j := ij.i, ij.j
 		// Per-run throughput summaries would arrive unserialized from
 		// worker goroutines; the sweep engine's own OnProgress is the
 		// single reporting channel for sweeps. Likewise per-job metric
@@ -66,23 +96,67 @@ func sweepRunShared(ctx context.Context, jobs []Job, opt sweep.Options, flight *
 		j.Options.Progress = nil
 		j.Options.MetricsSink = nil
 		j.Options.TraceEvents = nil
-		run := func() (*Result, error) {
-			r, err := Run(j.Design, j.Workload, j.Options)
+		j.Options.OnSweepAccepted = nil
+		if probe != nil {
+			probe.jobStart(i)
+		}
+		run := func(o Options) (*Result, error) {
+			r, err := Run(j.Design, j.Workload, o)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.Design, err)
 			}
 			return r, nil
 		}
-		if !j.Options.cacheable() {
-			return run()
+		finish := func(r *Result, cached bool, err error) (*Result, error) {
+			if probe != nil {
+				probe.jobDone(i, cached, err)
+			}
+			return r, err
 		}
-		key, _, err := j.fingerprint()
+		if !j.Options.cacheable() {
+			r, err := run(j.Options)
+			return finish(r, false, err)
+		}
+		key, pre, err := j.fingerprint()
 		if err != nil {
 			// Not fingerprintable (e.g. invalid options, unknown
 			// workload): fall through and let Run report the error.
-			return run()
+			r, err := run(j.Options)
+			return finish(r, false, err)
 		}
-		r, shared, err := flight.Do(key, run)
+		// hit is only written when this goroutine executes the flight
+		// body itself (shared == false), so the read below never races.
+		hit := false
+		r, shared, err := flight.Do(key, func() (*Result, error) {
+			store := j.Options.ResultCache
+			if store == nil {
+				return run(j.Options)
+			}
+			// The read-through lives here rather than inside Run so the
+			// lookup and the simulation are separately observable — the
+			// store counts exactly one Get per non-deduplicated job,
+			// same as before.
+			if cached, ok := store.Get(key); ok {
+				hit = true
+				if probe != nil {
+					probe.jobLookup(i, true)
+				}
+				return cached, nil
+			}
+			if probe != nil {
+				probe.jobLookup(i, false)
+			}
+			o := j.Options
+			o.ResultCache = nil
+			fresh, err := run(o)
+			if err != nil {
+				return nil, err
+			}
+			if err := store.Put(key, pre, fresh); err != nil {
+				return fresh, fmt.Errorf("%s/%v: taglessdram: result cache: %w", j.Workload, j.Design, err)
+			}
+			return fresh, nil
+		})
 		if forget {
 			// Idempotent: whichever of the sharers gets here first drops
 			// the memo entry; waiters already inside the call still share
@@ -90,11 +164,12 @@ func sweepRunShared(ctx context.Context, jobs []Job, opt sweep.Options, flight *
 			flight.Forget(key)
 		}
 		if err != nil || !shared {
-			return r, err
+			return finish(r, hit, err)
 		}
 		// A shared result is owned by another job's slot; hand this job
 		// its own deep copy so the two Results stay independent.
-		return resultcache.Clone(r)
+		r, cerr := resultcache.Clone(r)
+		return finish(r, true, cerr)
 	}, opt)
 }
 

@@ -3,15 +3,18 @@ package taglessdram
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"taglessdram/internal/resultcache"
 	"taglessdram/internal/sweep"
 	"taglessdram/internal/sweepapi"
+	"taglessdram/internal/telemetry"
 )
 
 // maxRequestBytes bounds a sweep request body; a full design × workload
@@ -22,6 +25,17 @@ const maxRequestBytes = 8 << 20
 // service.
 const DefaultMaxJobs = 4096
 
+// drainRetryAfter is the Retry-After header value (seconds) on 503s
+// from a draining server: long enough for a typical drain, short enough
+// that clients find the replacement instance quickly.
+const drainRetryAfter = "30"
+
+// sweepPhases are the per-job and per-sweep execution phases the
+// service attributes wall time to, as both the label values of the
+// sweepd_phase_duration_seconds histogram family and the nested span
+// names of /v1/trace.
+var sweepPhases = []string{"validate", "cache-lookup", "simulate", "encode", "stream"}
+
 // SweepServer is the sweep service behind cmd/sweepd: an http.Handler
 // that accepts experiment grids (POST /v1/sweep), shards their jobs
 // across the sweep worker pool behind one shared result cache and one
@@ -31,12 +45,21 @@ const DefaultMaxJobs = 4096
 // duplicates share the in-flight execution, later ones replay from the
 // store.
 //
+// Every request additionally feeds the service telemetry layer: GET
+// /metrics is a Prometheus text exposition of the cache counters,
+// in-flight gauges and per-phase duration histograms; each sweep gets a
+// server-assigned ID whose span timeline (queued → cache-lookup →
+// cached-hit/simulate → encode → streamed per job) is exported as
+// Chrome trace_event JSON on GET /v1/trace?sweep=ID; and SetLogOutput
+// enables structured JSON-lines request logging.
+//
 // The zero value is not usable; construct with NewSweepServer.
 type SweepServer struct {
 	store      *ResultCache
 	flight     *resultcache.Flight
 	maxWorkers int
 	maxJobs    int
+	start      time.Time
 
 	// baseCtx parents every sweep; Cancel cancels it (hard shutdown:
 	// queued jobs are skipped, in-flight simulations finish, streams end
@@ -50,8 +73,26 @@ type SweepServer struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	sweeps  atomic.Uint64
-	simJobs atomic.Uint64
+	sweeps   atomic.Uint64
+	simJobs  atomic.Uint64
+	sweepSeq atomic.Uint64
+
+	tel serverTelemetry
+}
+
+// serverTelemetry bundles the service's observability state: the
+// exposition registry, the per-phase histograms, the in-flight gauges,
+// the recent-sweep trace ring, and the structured logger (discarding
+// until SetLogOutput).
+type serverTelemetry struct {
+	reg    *telemetry.Registry
+	log    *telemetry.Logger
+	traces *telemetry.TraceStore
+
+	sweepsInflight *telemetry.Gauge
+	jobsInflight   *telemetry.Gauge
+	phases         *telemetry.HistVec
+	httpRequests   *telemetry.CounterVec
 }
 
 // NewSweepServer builds a sweep service over an open result cache.
@@ -68,15 +109,77 @@ func NewSweepServer(store *ResultCache, maxWorkers, maxJobs int) (*SweepServer, 
 		maxJobs = DefaultMaxJobs
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &SweepServer{
+	s := &SweepServer{
 		store:      store,
 		flight:     resultcache.NewFlight(),
 		maxWorkers: maxWorkers,
 		maxJobs:    maxJobs,
+		start:      time.Now(),
 		baseCtx:    ctx,
 		cancel:     cancel,
-	}, nil
+	}
+	s.initTelemetry()
+	return s, nil
 }
+
+// initTelemetry registers the exposition families. Counters the server
+// already owns (cache statistics, sweep/job totals) export through
+// read-at-scrape closures, so /metrics and /v1/stats can never drift
+// apart.
+func (s *SweepServer) initTelemetry() {
+	reg := telemetry.NewRegistry()
+	s.tel.reg = reg
+	s.tel.log = telemetry.NewLogger(nil)
+	s.tel.traces = telemetry.NewTraceStore(0)
+
+	st := func(pick func(resultcache.Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(s.store.Stats()) }
+	}
+	reg.CounterFunc("sweepd_resultcache_hits_total",
+		"Result-cache lookups answered from the store.",
+		st(func(c resultcache.Stats) uint64 { return c.Hits }))
+	reg.CounterFunc("sweepd_resultcache_misses_total",
+		"Result-cache lookups that had to simulate.",
+		st(func(c resultcache.Stats) uint64 { return c.Misses }))
+	reg.CounterFunc("sweepd_resultcache_stored_total",
+		"Results written to the store.",
+		st(func(c resultcache.Stats) uint64 { return c.Stored }))
+	reg.CounterFunc("sweepd_resultcache_evicted_total",
+		"Store entries evicted (stale model version or audit failure).",
+		st(func(c resultcache.Stats) uint64 { return c.Evicted }))
+	reg.GaugeFunc("sweepd_resultcache_entries",
+		"Result-cache entries on disk.",
+		func() float64 { return float64(s.store.Len()) })
+	reg.CounterFunc("sweepd_sweeps_total",
+		"Sweep requests accepted.", s.sweeps.Load)
+	reg.CounterFunc("sweepd_jobs_total",
+		"Jobs across accepted sweeps.", s.simJobs.Load)
+	s.tel.sweepsInflight = reg.Gauge("sweepd_sweeps_inflight",
+		"Sweep requests currently streaming.")
+	s.tel.jobsInflight = reg.Gauge("sweepd_jobs_inflight",
+		"Jobs currently between worker pickup and completion.")
+	s.tel.phases = reg.HistogramVec("sweepd_phase_duration_seconds",
+		"Wall time per sweep execution phase.", "phase")
+	for _, p := range sweepPhases {
+		s.tel.phases.With(p)
+	}
+	s.tel.httpRequests = reg.CounterVec("sweepd_http_requests_total",
+		"HTTP requests by route and status class.", "route", "class")
+	reg.GaugeFunc("sweepd_model_version",
+		"Behavioral generation stamp of the simulator (canonical.go).",
+		func() float64 { return float64(modelVersion) })
+	reg.GaugeFunc("sweepd_start_time_seconds",
+		"Unix time the server started.",
+		func() float64 { return float64(s.start.Unix()) })
+	reg.GaugeFunc("sweepd_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// SetLogOutput directs the server's structured JSON-lines request log
+// (one "http" event per request, one "sweep" event per sweep) to w; nil
+// discards. cmd/sweepd points it at stderr.
+func (s *SweepServer) SetLogOutput(w io.Writer) { s.tel.log.SetOutput(w) }
 
 // Drain stops accepting new sweeps (they get 503) and blocks until every
 // in-flight sweep has finished — the graceful half of shutdown. Safe to
@@ -111,27 +214,87 @@ func (s *SweepServer) isDraining() bool {
 	return s.draining
 }
 
+// statusRecorder captures the response status for the request counter
+// and access log, passing Flush through so event streams still flush
+// per line.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusRecorder) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// statusClass renders a status code's exposition class ("2xx", "4xx", ...).
+func statusClass(code int) string {
+	return fmt.Sprintf("%dxx", code/100)
+}
+
 // ServeHTTP implements http.Handler (see internal/sweepapi for the
-// protocol).
+// protocol). Every request increments the route × status-class counter
+// and emits one structured "http" log event.
 func (s *SweepServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w}
+	began := time.Now()
+	route := s.serve(rec, r)
+	s.tel.httpRequests.With(route, statusClass(rec.status())).Inc()
+	s.tel.log.Event("http",
+		telemetry.F("method", r.Method),
+		telemetry.F("route", route),
+		telemetry.F("status", rec.status()),
+		telemetry.F("peer", r.RemoteAddr),
+		telemetry.F("duration_ms", time.Since(began).Milliseconds()),
+	)
+}
+
+// serve dispatches one request and returns its route label.
+func (s *SweepServer) serve(w http.ResponseWriter, r *http.Request) string {
 	switch r.URL.Path {
 	case "/v1/sweep":
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
+		} else {
+			s.handleSweep(w, r)
 		}
-		s.handleSweep(w, r)
 	case "/v1/stats":
 		s.handleStats(w)
 	case "/v1/healthz":
-		if s.isDraining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		io.WriteString(w, "ok\n")
+		s.handleHealthz(w)
+	case "/v1/sweeps":
+		s.handleSweeps(w)
+	case "/v1/trace":
+		s.handleTrace(w, r)
+	case "/metrics":
+		s.handleMetrics(w)
 	default:
 		httpError(w, http.StatusNotFound, "no such endpoint")
+		return "other"
 	}
+	return r.URL.Path
 }
 
 // httpError writes a structured sweepapi.ErrorReply.
@@ -213,29 +376,77 @@ func (s *SweepServer) workers(requested int) int {
 // reached this sweep" wait on the context itself instead of sleeping.
 var sweepCtxHook func(context.Context)
 
+// logSweep emits the one-line structured summary of a finished (or
+// refused) sweep.
+func (s *SweepServer) logSweep(tr *telemetry.Trace, peer, outcome string, delta sweepapi.CacheStats, err error) {
+	sum := tr.Summary()
+	fields := []telemetry.Field{
+		telemetry.F("sweep_id", sum.ID),
+		telemetry.F("peer", peer),
+		telemetry.F("jobs", sum.Jobs),
+		telemetry.F("workers", sum.Workers),
+		telemetry.F("cached", sum.Cached),
+		telemetry.F("simulated", sum.Simulated),
+		telemetry.F("cache_hits", delta.Hits),
+		telemetry.F("cache_misses", delta.Misses),
+		telemetry.F("cache_stored", delta.Stored),
+		telemetry.F("cache_evicted", delta.Evicted),
+		telemetry.F("duration_ms", sum.Duration.Milliseconds()),
+		telemetry.F("outcome", outcome),
+	}
+	if err != nil {
+		fields = append(fields, telemetry.F("error", err.Error()))
+	}
+	s.tel.log.Event("sweep", fields...)
+}
+
 // handleSweep runs one sweep request, streaming events as they happen.
 func (s *SweepServer) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.begin() {
+		w.Header().Set("Retry-After", drainRetryAfter)
 		httpError(w, http.StatusServiceUnavailable, "draining")
+		s.tel.log.Event("sweep",
+			telemetry.F("peer", r.RemoteAddr),
+			telemetry.F("outcome", "refused-draining"))
 		return
 	}
 	defer s.inflight.Done()
+	s.tel.sweepsInflight.Inc()
+	defer s.tel.sweepsInflight.Dec()
 
+	began := time.Now()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	var req sweepapi.Request
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		s.tel.log.Event("sweep",
+			telemetry.F("peer", r.RemoteAddr),
+			telemetry.F("outcome", "invalid"),
+			telemetry.F("error", err.Error()))
 		return
 	}
 	jobs, fps, err := s.buildJobs(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		s.tel.log.Event("sweep",
+			telemetry.F("peer", r.RemoteAddr),
+			telemetry.F("outcome", "invalid"),
+			telemetry.F("error", err.Error()))
 		return
 	}
 	workers := s.workers(req.Workers)
 	s.sweeps.Add(1)
 	s.simJobs.Add(uint64(len(jobs)))
+
+	// The sweep's span trace: lane 0 holds the sweep-level phases, job i
+	// runs in lane i+1. All span timestamps are offsets from `began`.
+	id := fmt.Sprintf("s%06d", s.sweepSeq.Add(1))
+	tr := telemetry.NewTrace(id, began, len(jobs), workers, r.RemoteAddr)
+	s.tel.traces.Add(tr)
+	validated := tr.Since()
+	s.tel.phases.With("validate").Observe(validated)
+	tr.Add("validate", telemetry.CatSweep, 0, 0, validated)
 
 	// From here on the response is a 200 event stream; failures become
 	// error events, not status codes.
@@ -249,7 +460,7 @@ func (s *SweepServer) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	emit(&sweepapi.Event{
-		Type: sweepapi.EventAccepted,
+		Type: sweepapi.EventAccepted, SweepID: id,
 		Jobs: len(jobs), Workers: workers, Fingerprints: fps,
 	})
 
@@ -263,7 +474,58 @@ func (s *SweepServer) handleSweep(w http.ResponseWriter, r *http.Request) {
 		sweepCtxHook(ctx)
 	}
 
+	// The probe timestamps each job's milestones into its trace lane.
+	// Slots are written once per index from worker goroutines and read
+	// by this goroutine only after sweepRunShared returns.
+	runOff := tr.Since()
+	starts := make([]time.Duration, len(jobs))
+	lookups := make([]time.Duration, len(jobs))
+	looked := make([]bool, len(jobs))
+	cached := make([]bool, len(jobs))
+	probe := &sweepProbe{
+		jobStart: func(i int) {
+			s.tel.jobsInflight.Inc()
+			starts[i] = tr.Since()
+			tr.Add("queued", telemetry.CatPhase, i+1, runOff, starts[i])
+		},
+		jobLookup: func(i int, hit bool) {
+			lookups[i] = tr.Since()
+			looked[i] = true
+			s.tel.phases.With("cache-lookup").Observe(lookups[i] - starts[i])
+			tr.Add("cache-lookup", telemetry.CatPhase, i+1, starts[i], lookups[i])
+		},
+		jobDone: func(i int, wasCached bool, err error) {
+			defer s.tel.jobsInflight.Dec()
+			cached[i] = wasCached
+			end := tr.Since()
+			from := starts[i]
+			if looked[i] {
+				from = lookups[i]
+			}
+			name := "simulate"
+			switch {
+			case err != nil:
+				name = "failed"
+			case wasCached:
+				name = "cached-hit"
+			default:
+				s.tel.phases.With("simulate").Observe(end - from)
+			}
+			tr.Add(name, telemetry.CatPhase, i+1, from, end)
+			tr.JobDone(wasCached && err == nil)
+		},
+	}
+
 	stats0 := s.store.Stats()
+	cacheDelta := func() sweepapi.CacheStats {
+		stats1 := s.store.Stats()
+		return sweepapi.CacheStats{
+			Hits:    stats1.Hits - stats0.Hits,
+			Misses:  stats1.Misses - stats0.Misses,
+			Stored:  stats1.Stored - stats0.Stored,
+			Evicted: stats1.Evicted - stats0.Evicted,
+		}
+	}
 	results, err := sweepRunShared(ctx, jobs, sweep.Options{
 		Workers: workers,
 		OnProgress: func(p sweep.Progress) {
@@ -276,44 +538,141 @@ func (s *SweepServer) handleSweep(w http.ResponseWriter, r *http.Request) {
 				ETAMS:     p.ETA.Milliseconds(),
 			})
 		},
-	}, s.flight, true)
+	}, s.flight, true, probe)
 	if err != nil {
-		emit(&sweepapi.Event{Type: sweepapi.EventError, Error: err.Error()})
+		outcome := telemetry.StateError
+		if errors.Is(err, context.Canceled) {
+			outcome = telemetry.StateCanceled
+		}
+		emit(&sweepapi.Event{Type: sweepapi.EventError, SweepID: id, Error: err.Error()})
+		tr.Finish(outcome)
+		s.logSweep(tr, r.RemoteAddr, outcome, cacheDelta(), err)
 		return
 	}
+	streamOff := tr.Since()
 	for i, res := range results {
+		encStart := tr.Since()
 		payload, err := resultcache.Encode(res)
+		encEnd := tr.Since()
+		s.tel.phases.With("encode").Observe(encEnd - encStart)
+		tr.Add("encode", telemetry.CatPhase, i+1, encStart, encEnd)
 		if err != nil {
-			emit(&sweepapi.Event{Type: sweepapi.EventError,
-				Error: fmt.Sprintf("encoding job %d result: %v", i, err)})
+			err = fmt.Errorf("encoding job %d result: %v", i, err)
+			emit(&sweepapi.Event{Type: sweepapi.EventError, SweepID: id, Error: err.Error()})
+			tr.Finish(telemetry.StateError)
+			s.logSweep(tr, r.RemoteAddr, telemetry.StateError, cacheDelta(), err)
 			return
 		}
 		emit(&sweepapi.Event{
 			Type: sweepapi.EventResult,
 			Job:  i, Design: jobs[i].Design.String(), Workload: jobs[i].Workload,
-			Fingerprint: fps[i], Result: payload,
+			Fingerprint: fps[i], Cached: cached[i], Result: payload,
 		})
+		sent := tr.Since()
+		s.tel.phases.With("stream").Observe(sent - encEnd)
+		tr.Add("streamed", telemetry.CatPhase, i+1, encEnd, sent)
+		// The job's umbrella span: its whole lifetime in the sweep, from
+		// engine start to its result on the wire, colored by how it was
+		// answered.
+		cat := telemetry.CatSimulated
+		if cached[i] {
+			cat = telemetry.CatCached
+		}
+		tr.Add(fmt.Sprintf("%s/%v", jobs[i].Workload, jobs[i].Design), cat, i+1, runOff, sent)
 	}
-	stats1 := s.store.Stats()
-	emit(&sweepapi.Event{Type: sweepapi.EventDone, Cache: &sweepapi.CacheStats{
-		Hits:    stats1.Hits - stats0.Hits,
-		Misses:  stats1.Misses - stats0.Misses,
-		Stored:  stats1.Stored - stats0.Stored,
-		Evicted: stats1.Evicted - stats0.Evicted,
-	}})
+	delta := cacheDelta()
+	emit(&sweepapi.Event{Type: sweepapi.EventDone, SweepID: id, Cache: &delta})
+	end := tr.Since()
+	tr.Add("stream", telemetry.CatSweep, 0, streamOff, end)
+	tr.Add("sweep "+id, telemetry.CatSweep, 0, 0, end)
+	tr.Finish(telemetry.StateOK)
+	s.logSweep(tr, r.RemoteAddr, telemetry.StateOK, delta, nil)
 }
 
-// handleStats serves the lifetime statistics snapshot.
-func (s *SweepServer) handleStats(w http.ResponseWriter) {
+// statsReply snapshots the service statistics.
+func (s *SweepServer) statsReply() sweepapi.StatsReply {
 	st := s.store.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(sweepapi.StatsReply{
+	return sweepapi.StatsReply{
 		Cache: sweepapi.CacheStats{
 			Hits: st.Hits, Misses: st.Misses,
 			Stored: st.Stored, Evicted: st.Evicted,
 		},
-		Entries: s.store.Len(),
-		Sweeps:  s.sweeps.Load(),
-		SimJobs: s.simJobs.Load(),
-	})
+		Entries:        s.store.Len(),
+		Sweeps:         s.sweeps.Load(),
+		SimJobs:        s.simJobs.Load(),
+		ModelVersion:   modelVersion,
+		Start:          s.start.UTC().Format(time.RFC3339),
+		UptimeMS:       time.Since(s.start).Milliseconds(),
+		InFlightSweeps: int(s.tel.sweepsInflight.Value()),
+		InFlightJobs:   int(s.tel.jobsInflight.Value()),
+	}
+}
+
+// handleStats serves the lifetime statistics snapshot.
+func (s *SweepServer) handleStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statsReply())
+}
+
+// handleHealthz serves liveness plus the service identity block; a
+// draining server answers 503 with a Retry-After so well-behaved
+// clients back off.
+func (s *SweepServer) handleHealthz(w http.ResponseWriter) {
+	hr := sweepapi.HealthReply{
+		Status:       "ok",
+		ModelVersion: modelVersion,
+		Start:        s.start.UTC().Format(time.RFC3339),
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if s.isDraining() {
+		hr.Status = "draining"
+		w.Header().Set("Retry-After", drainRetryAfter)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(hr)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *SweepServer) handleMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.tel.reg.WriteProm(w)
+}
+
+// handleSweeps lists the retained recent sweeps, newest first.
+func (s *SweepServer) handleSweeps(w http.ResponseWriter) {
+	sums := s.tel.traces.Summaries()
+	reply := sweepapi.SweepsReply{Sweeps: make([]sweepapi.SweepSummary, len(sums))}
+	for i, sm := range sums {
+		reply.Sweeps[i] = sweepapi.SweepSummary{
+			ID: sm.ID, State: sm.State, Peer: sm.Peer,
+			Jobs: sm.Jobs, Done: sm.Done,
+			Cached: sm.Cached, Simulated: sm.Simulated,
+			Workers:    sm.Workers,
+			Start:      sm.Begun.UTC().Format(time.RFC3339),
+			DurationMS: sm.Duration.Milliseconds(),
+			Spans:      sm.Spans,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reply)
+}
+
+// handleTrace serves one sweep's span timeline as Chrome trace_event
+// JSON (?sweep=ID; omitted = the most recent sweep).
+func (s *SweepServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("sweep")
+	var tr *telemetry.Trace
+	var ok bool
+	if id == "" {
+		tr, ok = s.tel.traces.Latest()
+	} else {
+		tr, ok = s.tel.traces.Get(id)
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no trace for sweep %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChrome(w)
 }

@@ -167,6 +167,12 @@ type Options struct {
 	// summary (trace references and kernel events per wall-clock second)
 	// in the Summary field.
 	Progress func(SweepProgress)
+	// OnSweepAccepted, when non-nil, is called once per remote sweep as
+	// the sweep service accepts the grid, with the server-assigned sweep
+	// ID — the handle for the service's span trace (GET /v1/trace) — and
+	// the sweep's validated shape. In-process sweeps never call it.
+	// Non-semantic: a pure observer.
+	OnSweepAccepted func(SweepAccepted)
 	// EpochRefs enables epoch-resolved sampling: every EpochRefs measured
 	// references the machine snapshots its counters and the Result carries
 	// the per-epoch deltas in Result.Epochs (0 = off, the default; the hot

@@ -1,0 +1,143 @@
+package taglessdram_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"taglessdram"
+)
+
+// TestTelemetrySmoke drives a real sweepd process end to end; CI's
+// telemetry-smoke job starts one and points TELEMETRY_SMOKE_URL at it.
+// It deliberately carries its own miniature exposition parser instead of
+// importing internal/telemetry, so it would catch a format regression
+// that broke third-party scrapers even if the in-tree parser kept pace.
+func TestTelemetrySmoke(t *testing.T) {
+	url := os.Getenv("TELEMETRY_SMOKE_URL")
+	if url == "" {
+		t.Skip("TELEMETRY_SMOKE_URL not set (CI telemetry-smoke job only)")
+	}
+	ctx := context.Background()
+
+	before := smokeScrape(t, url)
+	o := taglessdram.DefaultOptions()
+	o.Warmup, o.Measure = 50_000, 50_000
+	o.Workers = 2
+	var sweepID string
+	o.OnSweepAccepted = func(a taglessdram.SweepAccepted) { sweepID = a.SweepID }
+	jobs := []taglessdram.Job{
+		{Design: taglessdram.Tagless, Workload: "sphinx3", Options: o},
+		{Design: taglessdram.SRAMTag, Workload: "sphinx3", Options: o},
+	}
+	if _, err := taglessdram.RemoteSweep(ctx, url, jobs, o); err != nil {
+		t.Fatal(err)
+	}
+	if sweepID == "" {
+		t.Fatal("accepted event carried no sweep ID")
+	}
+	after := smokeScrape(t, url)
+
+	for _, name := range []string{
+		"sweepd_sweeps_total", "sweepd_jobs_total",
+		"sweepd_resultcache_hits_total", "sweepd_resultcache_misses_total",
+		"sweepd_http_requests_total", "sweepd_uptime_seconds",
+	} {
+		b, okB := before[name]
+		a, okA := after[name]
+		if !okB || !okA {
+			t.Errorf("metric %s missing from a scrape (before %v, after %v)", name, okB, okA)
+			continue
+		}
+		if a < b {
+			t.Errorf("%s went backwards: %v -> %v", name, b, a)
+		}
+	}
+	if d := after["sweepd_jobs_total"] - before["sweepd_jobs_total"]; d < float64(len(jobs)) {
+		t.Errorf("sweepd_jobs_total advanced by %v, want >= %d", d, len(jobs))
+	}
+
+	// Stats and metrics must be the same numbers.
+	st, err := taglessdram.RemoteStats(ctx, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after["sweepd_resultcache_hits_total"] + after["sweepd_resultcache_misses_total"]; got > float64(st.Hits+st.Misses) {
+		t.Errorf("/metrics saw %v cache lookups, /v1/stats only %d", got, st.Hits+st.Misses)
+	}
+
+	// The sweep's trace must be valid Chrome trace_event JSON with one
+	// complete event per job span.
+	raw, err := taglessdram.RemoteTrace(ctx, url, sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(jobs) {
+		t.Fatalf("trace has %d events, want at least %d", len(doc.TraceEvents), len(jobs))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Name == "" {
+			t.Fatalf("malformed trace event: %+v", ev)
+		}
+	}
+}
+
+// smokeScrape fetches /metrics and parses it with a minimal
+// line-oriented reader: families summed over label sets, comments
+// skipped, anything else a failure.
+func smokeScrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(strings.TrimSuffix(url, "/") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		name := line[:sp]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = name[:br]
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[name] += v
+	}
+	if len(out) == 0 {
+		t.Fatal("empty exposition")
+	}
+	return out
+}
